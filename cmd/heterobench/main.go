@@ -1,0 +1,76 @@
+// Command heterobench regenerates the paper's evaluation artifacts: one
+// experiment per table and figure, printed as text tables.
+//
+// Usage:
+//
+//	heterobench -exp figure9            # one experiment
+//	heterobench -exp all                # everything, paper order
+//	heterobench -exp figure1 -quick     # reduced sweep for smoke runs
+//	heterobench -list                   # enumerate experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"heteroos/internal/exp"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "all", "experiment id (table1..table6, figure1..figure13) or 'all'")
+		quick  = flag.Bool("quick", false, "run reduced sweeps")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		format = flag.String("format", "text", "output format: text, markdown, csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Registry() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	opts := exp.Options{Seed: *seed, Quick: *quick}
+	var todo []exp.Experiment
+	if *expID == "all" {
+		todo = exp.Registry()
+	} else {
+		e, ok := exp.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "heterobench: unknown experiment %q; try -list\n", *expID)
+			os.Exit(2)
+		}
+		todo = []exp.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heterobench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "markdown":
+			res.Table.RenderMarkdown(os.Stdout)
+		case "csv":
+			res.Table.RenderCSV(os.Stdout)
+		default:
+			res.Table.Render(os.Stdout)
+		}
+		if res.Notes != "" {
+			fmt.Println(res.Notes)
+		}
+		if *format == "text" {
+			fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+		} else {
+			fmt.Println()
+			_ = start
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Command heteroinfo prints the model catalogs — the paper's data tables
+// that are configuration rather than measurement (Tables 1, 2, 3, 5, 6)
+// — straight from the live registries, so documentation cannot drift
+// from code.
+//
+// Usage:
+//
+//	heteroinfo            # all catalog tables
+//	heteroinfo -table 3   # one table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heteroos/internal/exp"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number (1,2,3,5,6); 0 prints all")
+	flag.Parse()
+
+	ids := map[int]string{1: "table1", 2: "table2", 3: "table3", 5: "table5", 6: "table6"}
+	var order []int
+	if *table == 0 {
+		order = []int{1, 2, 3, 5, 6}
+	} else {
+		if _, ok := ids[*table]; !ok {
+			fmt.Fprintf(os.Stderr, "heteroinfo: no catalog table %d (Table 4 is measured; use heterobench -exp table4)\n", *table)
+			os.Exit(2)
+		}
+		order = []int{*table}
+	}
+	for _, n := range order {
+		e, _ := exp.ByID(ids[n])
+		res, err := e.Run(exp.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "heteroinfo:", err)
+			os.Exit(1)
+		}
+		res.Table.Render(os.Stdout)
+		fmt.Println()
+	}
+}

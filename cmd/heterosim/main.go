@@ -1,0 +1,106 @@
+// Command heterosim runs a single VM simulation: one application under
+// one management mode at a chosen FastMem:SlowMem shape, and prints a
+// detailed result breakdown.
+//
+// Usage:
+//
+//	heterosim -app GraphChi -mode HeteroOS-coordinated -ratio 4
+//	heterosim -app LevelDB -mode Heap-IO-Slab-OD -ratio 8 -seed 7
+//	heterosim -modes                    # list mode names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heteroos/internal/core"
+	"heteroos/internal/memsim"
+	"heteroos/internal/policy"
+	"heteroos/internal/workload"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "GraphChi", "application (Table 2 name, or memlat/stream)")
+		modeName  = flag.String("mode", "HeteroOS-coordinated", "management mode (Table 5 / baseline name)")
+		ratio     = flag.Int("ratio", 4, "SlowMem:FastMem capacity ratio denominator (fast = 8GiB/ratio)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		listModes = flag.Bool("modes", false, "list mode names and exit")
+		trace     = flag.Bool("trace", false, "print a per-epoch time series")
+	)
+	flag.Parse()
+
+	if *listModes {
+		for _, m := range policy.All() {
+			fmt.Printf("%-22s %s\n", m.Name, m.Description)
+		}
+		return
+	}
+
+	mode, ok := policy.ByName(*modeName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "heterosim: unknown mode %q; try -modes\n", *modeName)
+		os.Exit(2)
+	}
+	w, err := workload.ByName(*app, workload.Config{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heterosim:", err)
+		os.Exit(2)
+	}
+	if *ratio < 1 {
+		fmt.Fprintln(os.Stderr, "heterosim: ratio must be >= 1")
+		os.Exit(2)
+	}
+
+	slow := workload.Config{}.Pages(8 * workload.GiB)
+	fast := slow / uint64(*ratio)
+	cfg := core.Config{
+		FastFrames: fast + slow + 8192,
+		SlowFrames: slow + 8192,
+		Seed:       *seed,
+		Trace:      *trace,
+		VMs: []core.VMConfig{{
+			ID: 1, Mode: mode, Workload: w,
+			FastPages: fast, SlowPages: slow,
+		}},
+	}
+	res, sys, err := core.RunSingle(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heterosim:", err)
+		os.Exit(1)
+	}
+
+	prof := w.Profile()
+	fmt.Printf("%s under %s (FastMem 1/%d of 8GiB SlowMem, %s)\n",
+		prof.Name, mode.Name, *ratio, sys.VMM.SharePolicyName())
+	fmt.Printf("  runtime          %10.2f s\n", res.RuntimeSeconds())
+	if prof.OpsPerEpoch > 0 {
+		fmt.Printf("  throughput       %10.0f ops/s (%s)\n",
+			res.Throughput(prof.OpsPerEpoch), prof.Metric)
+	}
+	fmt.Printf("  cpu time         %10.2f s\n", res.CPUTime.Seconds())
+	fmt.Printf("  FastMem stall    %10.2f s  (%d misses)\n",
+		res.MemTime[memsim.FastMem].Seconds(), res.Misses[memsim.FastMem])
+	fmt.Printf("  SlowMem stall    %10.2f s  (%d misses)\n",
+		res.MemTime[memsim.SlowMem].Seconds(), res.Misses[memsim.SlowMem])
+	fmt.Printf("  OS/software time %10.2f s\n", res.OSTime.Seconds())
+	fmt.Printf("  faults=%d swapIn=%d swapOut=%d diskRead=%d diskWrite=%d\n",
+		res.Faults, res.SwapIns, res.SwapOuts, res.DiskReadPages, res.DiskWritePages)
+	fmt.Printf("  fastAllocMissRatio=%.3f demotions=%d promotions=%d vmmMigrations=%d\n",
+		res.MissRatio(), res.Demotions, res.Promotions, res.VMMMigrations)
+	fmt.Printf("  scanPasses=%d scanCost=%.2fs migrateCost=%.2fs\n",
+		res.ScanPasses, res.ScanCostNs/1e9, res.MigrateCostNs/1e9)
+
+	if *trace {
+		fmt.Println()
+		fmt.Println("epoch  total(ms)   cpu(ms)  memF(ms)  memS(ms)    os(ms)  demote  promote  fastFree%")
+		for _, tr := range sys.VMs[0].TraceLog {
+			fmt.Printf("%5d  %9.1f %9.1f %9.1f %9.1f %9.1f  %6d  %7d  %8.1f\n",
+				tr.Epoch,
+				float64(tr.Total)/1e6, float64(tr.CPU)/1e6,
+				float64(tr.MemFast)/1e6, float64(tr.MemSlow)/1e6, float64(tr.OS)/1e6,
+				tr.Demotions, tr.Promotions, tr.FastFreePct)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// I/O cache placement: the paper's Observation 3 — on-demand FastMem
+// allocation matters for OS subsystems, not just the heap. This demo
+// runs the storage-intensive LevelDB model under heap-only
+// prioritisation and under heap+IO+slab prioritisation, then prints the
+// page-type census showing where LevelDB's pages actually live.
+//
+//	go run ./examples/iocache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heteroos/internal/core"
+	"heteroos/internal/guestos"
+	"heteroos/internal/memsim"
+	"heteroos/internal/policy"
+	"heteroos/internal/workload"
+)
+
+func run(mode policy.Mode) *core.VMResult {
+	w, err := workload.ByName("LevelDB", workload.Config{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	slow := workload.Config{}.Pages(8 * workload.GiB)
+	fast := slow / 4
+	res, _, err := core.RunSingle(core.Config{
+		FastFrames: fast + slow + 8192,
+		SlowFrames: slow + 8192,
+		Seed:       3,
+		VMs: []core.VMConfig{{
+			ID: 1, Mode: mode, Workload: w,
+			FastPages: fast, SlowPages: slow,
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	base := run(policy.SlowMemOnly())
+	heap := run(policy.HeapOD())
+	io := run(policy.HeapIOSlabOD())
+
+	fmt.Println("LevelDB (SQLite bench, 1M keys) — FastMem at 1/4 of SlowMem")
+	fmt.Printf("  SlowMem-only:     %6.2f s\n", base.RuntimeSeconds())
+	fmt.Printf("  Heap-OD:          %6.2f s  (+%.0f%%)\n",
+		heap.RuntimeSeconds(), gain(base, heap))
+	fmt.Printf("  Heap-IO-Slab-OD:  %6.2f s  (+%.0f%%)\n",
+		io.RuntimeSeconds(), gain(base, io))
+	fmt.Println()
+	fmt.Println("Why I/O prioritisation matters — LevelDB's page population:")
+	census := io.FinalCensus
+	var total uint64
+	for _, k := range guestos.AllocatableKinds {
+		total += census[k]
+	}
+	for _, k := range guestos.AllocatableKinds {
+		if census[k] == 0 {
+			continue
+		}
+		fmt.Printf("  %-18s %6.1f%%  (%d pages)\n",
+			k.String(), 100*float64(census[k])/float64(total), census[k])
+	}
+	fmt.Println()
+	fmt.Println("The cache population is the same either way; what changes is the")
+	fmt.Println("speed of the memory every cached read flows through:")
+	fmt.Printf("  SlowMem stall: Heap-OD=%.2fs vs Heap-IO-Slab-OD=%.2fs\n",
+		heap.MemTime[memsim.SlowMem].Seconds(), io.MemTime[memsim.SlowMem].Seconds())
+}
+
+func gain(base, v *core.VMResult) float64 {
+	return (base.RuntimeSeconds()/v.RuntimeSeconds() - 1) * 100
+}

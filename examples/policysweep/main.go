@@ -1,0 +1,70 @@
+// Policy sweep: run one application across every management mode and
+// several FastMem capacity ratios, printing a Figure-9-style gains
+// table. Demonstrates how to drive systematic comparisons through the
+// public API.
+//
+//	go run ./examples/policysweep            # GraphChi
+//	go run ./examples/policysweep X-Stream   # any Table 2 app
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"heteroos/internal/core"
+	"heteroos/internal/metrics"
+	"heteroos/internal/policy"
+	"heteroos/internal/workload"
+)
+
+func run(app string, mode policy.Mode, fastPages uint64) *core.VMResult {
+	w, err := workload.ByName(app, workload.Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	slow := workload.Config{}.Pages(8 * workload.GiB)
+	res, _, err := core.RunSingle(core.Config{
+		FastFrames: fastPages + slow + 8192,
+		SlowFrames: slow + 8192,
+		Seed:       7,
+		VMs: []core.VMConfig{{
+			ID: 1, Mode: mode, Workload: w,
+			FastPages: fastPages, SlowPages: slow,
+		}},
+	})
+	if err != nil {
+		log.Fatalf("%s/%s: %v", app, mode.Name, err)
+	}
+	return res
+}
+
+func main() {
+	app := "GraphChi"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+	slow := workload.Config{}.Pages(8 * workload.GiB)
+	modes := []policy.Mode{
+		policy.HeapOD(), policy.HeapIOSlabOD(), policy.HeteroOSLRU(),
+		policy.VMMExclusive(), policy.HeteroOSCoordinated(),
+	}
+
+	base := run(app, policy.SlowMemOnly(), 0)
+	fmt.Printf("%s: SlowMem-only baseline %.2f s\n\n", app, base.RuntimeSeconds())
+
+	header := []string{"Ratio"}
+	for _, m := range modes {
+		header = append(header, m.Name)
+	}
+	t := metrics.NewTable(fmt.Sprintf("%s gains (%%) vs SlowMem-only", app), header...)
+	for _, den := range []uint64{2, 4, 8} {
+		row := []interface{}{fmt.Sprintf("1/%d", den)}
+		for _, m := range modes {
+			r := run(app, m, slow/den)
+			row = append(row, metrics.GainPercent(base.RuntimeSeconds(), r.RuntimeSeconds()))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(os.Stdout)
+}

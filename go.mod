@@ -1,0 +1,3 @@
+module heteroos
+
+go 1.23

@@ -1,0 +1,425 @@
+// Package core assembles the full HeteroOS system: a machine with two
+// memory tiers, the VMM with a share policy, one or more guest VMs each
+// running a guest OS under a named management mode (internal/policy)
+// and a workload (internal/workload), and the epoch loop that prices
+// execution with the memsim engine.
+//
+// This is the public API surface of the reproduction: experiments, the
+// CLIs, and the examples all drive simulations through this package.
+package core
+
+import (
+	"fmt"
+
+	"heteroos/internal/guestos"
+	"heteroos/internal/memsim"
+	"heteroos/internal/policy"
+	"heteroos/internal/sim"
+	"heteroos/internal/vmm"
+	"heteroos/internal/workload"
+)
+
+// ShareKind names a VMM share policy.
+type ShareKind string
+
+// Share policy names accepted by Config.Share.
+const (
+	ShareStatic ShareKind = "static"
+	ShareMaxMin ShareKind = "max-min"
+	ShareDRF    ShareKind = "drf"
+)
+
+// VMConfig describes one guest VM.
+type VMConfig struct {
+	ID   vmm.VMID
+	Mode policy.Mode
+	// Workload runs inside the VM.
+	Workload workload.Workload
+	// FastPages / SlowPages bound the VM's per-tier capacity (scaled
+	// pages). Mode.NoFastMem forces FastPages to 0; Mode.AllFastMem
+	// replaces both with one large FastMem span.
+	FastPages, SlowPages uint64
+	// BootFastPages / BootSlowPages are populated at boot; zero defaults
+	// to half the span (the rest arrives on demand).
+	BootFastPages, BootSlowPages uint64
+	// ReservedFastPages / ReservedSlowPages are the VMM-guaranteed
+	// minimums for multi-VM sharing; zero defaults to the boot sizes.
+	ReservedFastPages, ReservedSlowPages uint64
+}
+
+// Config describes the whole system.
+type Config struct {
+	// Machine shape (scaled pages per tier).
+	FastFrames, SlowFrames uint64
+	// Tier performance; zero values default to the paper's FastMem
+	// (L:1,B:1) and SlowMem (L:5,B:9).
+	FastSpec, SlowSpec memsim.TierSpec
+	// LLC model; zero value defaults to the 16 MB reference platform.
+	LLC memsim.LLC
+	// CPU model; zero value defaults to the paper's Xeon.
+	CPU memsim.CPU
+	// Share selects the VMM share policy (default static).
+	Share ShareKind
+	// VMs to boot.
+	VMs []VMConfig
+	// MaxEpochs bounds the run (default 4096).
+	MaxEpochs int
+	// ScanEveryEpochs is the baseline hotness-tracking cadence in
+	// epochs (default 1, i.e. every 100 ms epoch).
+	ScanEveryEpochs int
+	// ScanBatchPages bounds pages scanned per pass, in scaled pages
+	// (default 16K real pages / CostScale — the Figure 11 cadence).
+	ScanBatchPages int
+	// MaxMovesPerPass bounds migrations per rebalance, in scaled pages
+	// (default 8K real pages / CostScale: one Table 6 batch).
+	MaxMovesPerPass int
+	// CostScale is the capacity scale factor: one simulated page stands
+	// for CostScale real pages, so per-page software costs multiply by
+	// it. Default workload.DefaultScale.
+	CostScale float64
+	// CoordMovesPerEpoch is the coordinated manager's migration budget
+	// (scaled pages per epoch); selectivity is what keeps coordinated
+	// migration volumes at Figure 12's levels. Default 48.
+	CoordMovesPerEpoch int
+	// Trace records a per-epoch time series in each VMInstance (memory
+	// profiles over time; used by heterosim -trace and tooling).
+	Trace bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.FastSpec == (memsim.TierSpec{}) {
+		c.FastSpec = memsim.FastTierSpec()
+	}
+	if c.SlowSpec == (memsim.TierSpec{}) {
+		c.SlowSpec = memsim.SlowTierSpec()
+	}
+	if c.LLC == (memsim.LLC{}) {
+		c.LLC = memsim.DefaultLLC()
+	}
+	if c.CPU == (memsim.CPU{}) {
+		c.CPU = memsim.DefaultCPU()
+	}
+	if c.Share == "" {
+		c.Share = ShareStatic
+	}
+	if c.MaxEpochs == 0 {
+		c.MaxEpochs = 4096
+	}
+	if c.ScanEveryEpochs == 0 {
+		c.ScanEveryEpochs = 1
+	}
+	if c.CostScale == 0 {
+		c.CostScale = workload.DefaultScale
+	}
+	if c.ScanBatchPages == 0 {
+		// 32K real guest pages per 100 ms pass (the Figure 8 cadence).
+		c.ScanBatchPages = int(32 * 1024 / c.CostScale)
+		if c.ScanBatchPages < 1 {
+			c.ScanBatchPages = 1
+		}
+	}
+	if c.MaxMovesPerPass == 0 {
+		// 8K real pages per rebalance: one Table 6 batch.
+		c.MaxMovesPerPass = int(8 * 1024 / c.CostScale)
+		if c.MaxMovesPerPass < 1 {
+			c.MaxMovesPerPass = 1
+		}
+	}
+	if c.CoordMovesPerEpoch == 0 {
+		c.CoordMovesPerEpoch = 96
+	}
+}
+
+// VMInstance is one running guest.
+type VMInstance struct {
+	ID   vmm.VMID
+	Mode policy.Mode
+	OS   *guestos.OS
+	W    workload.Workload
+	VM   *vmm.VM
+
+	scanner  *vmm.Scanner
+	migrator *vmm.Migrator
+	interval *vmm.AdaptiveInterval
+	// scanEvery multiplies the base 100 ms scan interval.
+	scanEvery int
+	// scanDebt is simulated time elapsed since the last scan pass.
+	scanDebt sim.Duration
+	// moveBudget is the coordinated manager's accumulated migration
+	// allowance, in pages.
+	moveBudget int
+	// throttledPasses counts scan slots skipped while promotions are
+	// throttled (most are elided; every 8th probes).
+	throttledPasses int
+
+	Clock sim.Clock
+	Done  bool
+	Res   VMResult
+	// TraceLog holds the per-epoch series when Config.Trace is set.
+	TraceLog []EpochTrace
+}
+
+// EpochTrace is one sample of a VM's per-epoch time series.
+type EpochTrace struct {
+	Epoch       int
+	Total       sim.Duration
+	CPU         sim.Duration
+	MemFast     sim.Duration
+	MemSlow     sim.Duration
+	OS          sim.Duration
+	FastMisses  uint64
+	SlowMisses  uint64
+	Demotions   uint64
+	Promotions  uint64
+	FastFreePct float64
+}
+
+// VMResult accumulates one VM's run statistics.
+type VMResult struct {
+	SimTime  sim.Duration
+	CPUTime  sim.Duration
+	MemTime  [memsim.NumTiers]sim.Duration
+	OSTime   sim.Duration
+	Instr    uint64
+	Epochs   int
+	Misses   [memsim.NumTiers]uint64
+	BytesOut [memsim.NumTiers]uint64
+
+	Faults, SwapIns, SwapOuts            uint64
+	Demotions, Promotions, VMMMigrations uint64
+	CacheEvictions                       uint64
+	DiskReadPages, DiskWritePages        uint64
+	ScanCostNs, MigrateCostNs            float64
+	ScanPasses                           int
+	FastAllocRequests, FastAllocMisses   uint64
+	FinalCensus                          [guestos.NumKinds]uint64
+	CumAllocs                            [guestos.NumKinds]uint64
+	NetBufChurnPages, SlabChurnPages     float64
+}
+
+// RuntimeSeconds reports the VM's simulated runtime.
+func (r *VMResult) RuntimeSeconds() float64 { return r.SimTime.Seconds() }
+
+// MissRatio reports the lifetime FastMem allocation miss ratio.
+func (r *VMResult) MissRatio() float64 {
+	if r.FastAllocRequests == 0 {
+		return 0
+	}
+	return float64(r.FastAllocMisses) / float64(r.FastAllocRequests)
+}
+
+// Throughput derives ops/sec for throughput-metric workloads.
+func (r *VMResult) Throughput(opsPerEpoch float64) float64 {
+	if r.SimTime == 0 {
+		return 0
+	}
+	return opsPerEpoch * float64(r.Epochs) / r.SimTime.Seconds()
+}
+
+// System is a fully wired simulation.
+type System struct {
+	Cfg     Config
+	Machine *memsim.Machine
+	VMM     *vmm.VMM
+	Engine  *memsim.Engine
+	VMs     []*VMInstance
+	drf     *vmm.DRFShare // non-nil when Share == ShareDRF
+}
+
+// NewSystem builds and boots a system.
+func NewSystem(cfg Config) (*System, error) {
+	cfg.applyDefaults()
+	if len(cfg.VMs) == 0 {
+		return nil, fmt.Errorf("core: no VMs configured")
+	}
+	s := &System{Cfg: cfg}
+	s.Machine = memsim.NewMachine(cfg.FastFrames, cfg.SlowFrames, cfg.FastSpec, cfg.SlowSpec)
+	var share vmm.SharePolicy
+	switch cfg.Share {
+	case ShareStatic:
+		share = vmm.StaticShare{}
+	case ShareMaxMin:
+		share = vmm.MaxMinShare{}
+	case ShareDRF:
+		d, err := vmm.NewDRFShare(s.Machine, vmm.DefaultDRFWeights())
+		if err != nil {
+			return nil, err
+		}
+		share = d
+		s.drf = d
+	default:
+		return nil, fmt.Errorf("core: unknown share policy %q", cfg.Share)
+	}
+	s.VMM = vmm.New(s.Machine, share)
+	s.Engine = memsim.NewEngine(s.Machine)
+	s.Engine.CPU = cfg.CPU
+
+	for _, vc := range cfg.VMs {
+		inst, err := s.bootVM(vc)
+		if err != nil {
+			return nil, err
+		}
+		s.VMs = append(s.VMs, inst)
+	}
+	return s, nil
+}
+
+func (s *System) bootVM(vc VMConfig) (*VMInstance, error) {
+	if vc.Workload == nil {
+		return nil, fmt.Errorf("core: VM %d has no workload", vc.ID)
+	}
+	fast, slow := vc.FastPages, vc.SlowPages
+	switch {
+	case vc.Mode.NoFastMem:
+		fast = 0
+	case vc.Mode.AllFastMem:
+		// One huge FastMem span; SlowMem stays as a (never-preferred)
+		// safety net sized as configured.
+		fast = fast + slow
+	}
+	bootFast, bootSlow := vc.BootFastPages, vc.BootSlowPages
+	if bootFast == 0 {
+		bootFast = fast / 2
+	}
+	if bootSlow == 0 {
+		bootSlow = slow / 2
+	}
+	if bootFast > fast {
+		bootFast = fast
+	}
+	if bootSlow > slow {
+		bootSlow = slow
+	}
+	resFast, resSlow := vc.ReservedFastPages, vc.ReservedSlowPages
+	if resFast == 0 {
+		resFast = bootFast
+	}
+	if resSlow == 0 {
+		resSlow = bootSlow
+	}
+
+	spec := vmm.VMSpec{ID: vc.ID}
+	spec.Reserved[memsim.FastMem] = resFast
+	spec.Reserved[memsim.SlowMem] = resSlow
+	spec.MaxPages[memsim.FastMem] = fast
+	spec.MaxPages[memsim.SlowMem] = slow
+	vmh, err := s.VMM.CreateVM(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	costs := guestos.DefaultCosts().Scaled(s.Cfg.CostScale)
+	if vc.Mode.BareMetal {
+		// No hypervisor boundary: reservation changes are plain
+		// allocator operations, not balloon hypercalls.
+		costs.BalloonPerPageNs = 0
+	}
+	os, err := guestos.New(guestos.Config{
+		CPUs:          s.Cfg.CPU.Cores,
+		Aware:         vc.Mode.GuestAware,
+		FastMaxPages:  fast,
+		SlowMaxPages:  slow,
+		BootFastPages: bootFast,
+		BootSlowPages: bootSlow,
+		Placement:     vc.Mode.Placement,
+		Source:        vmh,
+		TierOf:        s.Machine.TierOf,
+		Costs:         costs,
+		Seed:          s.Cfg.Seed ^ uint64(vc.ID)*0x9e3779b97f4a7c15,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: booting VM %d: %w", vc.ID, err)
+	}
+	vmh.Balloon = os
+	vmh.View = os
+
+	inst := &VMInstance{
+		ID: vc.ID, Mode: vc.Mode, OS: os, W: vc.Workload, VM: vmh,
+		scanEvery: s.Cfg.ScanEveryEpochs,
+	}
+	if vc.Mode.Migration != policy.MigrateNone {
+		scanCosts := vmm.DefaultScanCosts().Scaled(s.Cfg.CostScale)
+		if vc.Mode.BareMetal {
+			// Native page-table scans skip the nested-paging walk the
+			// hypervisor pays per PTE.
+			scanCosts.PTEScanNs *= 0.7
+			scanCosts.TLBRefillNs *= 0.7
+		}
+		inst.scanner = vmm.NewScanner(os, scanCosts)
+		inst.scanner.BatchPages = s.Cfg.ScanBatchPages
+		// Promote only decisively hot pages (two consecutive referenced
+		// scans); anything looser churns on uniformly warm heaps.
+		inst.scanner.HotThreshold = 6
+		mc := vmm.DefaultMigrateCosts()
+		mc.CostScale = s.Cfg.CostScale
+		inst.migrator = vmm.NewMigrator(mc)
+	}
+	if vc.Mode.WriteAwareMigration && inst.scanner != nil {
+		// Section 4.3 extension: track write bits and weight the
+		// migration ranking by the slow tier's store/load asymmetry.
+		inst.scanner.TrackWrites = true
+		slow := s.Machine.Spec(memsim.SlowMem)
+		if slow.LoadLatencyNs > 0 {
+			boost := slow.StoreLatencyNs/slow.LoadLatencyNs - 1
+			if boost < 0 {
+				boost = 0
+			}
+			inst.scanner.WriteBoost = boost
+		}
+	}
+	if vc.Mode.Migration == policy.MigrateCoordinated && inst.scanner != nil {
+		// Guest-guided tracking also consults guest page state — the
+		// validity information the VMM-exclusive scanner cannot see.
+		inst.scanner.TrustGuestState = true
+		// The guest keeps extra free FastMem headroom so promotions land
+		// without displacing anything and allocation bursts don't bounce
+		// freshly promoted pages back out.
+		if vc.Mode.GuestAware {
+			fast := os.Node(memsim.FastMem)
+			fast.HighWatermark = 6 * fast.LowWatermark
+		}
+	}
+	if vc.Mode.AdaptiveInterval {
+		// Equation 1 varies the interval between 50 ms and 1 s.
+		inst.interval = vmm.NewAdaptiveInterval(
+			50*sim.Millisecond, sim.Second, 250*sim.Millisecond)
+	}
+	if err := vc.Workload.Init(os); err != nil {
+		return nil, fmt.Errorf("core: init workload on VM %d: %w", vc.ID, err)
+	}
+	return inst, nil
+}
+
+// VMResultByID fetches a VM's results.
+func (s *System) VMResultByID(id vmm.VMID) (*VMResult, bool) {
+	for _, inst := range s.VMs {
+		if inst.ID == id {
+			return &inst.Res, true
+		}
+	}
+	return nil, false
+}
+
+// DRFDominantShare reports a VM's dominant share under the DRF policy
+// (zero otherwise).
+func (s *System) DRFDominantShare(id vmm.VMID) float64 {
+	if s.drf == nil {
+		return 0
+	}
+	return s.drf.DominantShare(id)
+}
+
+// CheckInvariants validates the whole stack.
+func (s *System) CheckInvariants() error {
+	if err := s.VMM.CheckInvariants(); err != nil {
+		return err
+	}
+	for _, inst := range s.VMs {
+		if err := inst.OS.CheckInvariants(); err != nil {
+			return fmt.Errorf("VM %d: %w", inst.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+
+	"heteroos/internal/guestos"
+	"heteroos/internal/memsim"
+	"heteroos/internal/policy"
+	"heteroos/internal/sim"
+	"heteroos/internal/vmm"
+)
+
+// maxScanPassesPerEpoch bounds timer-driven scan passes charged within
+// one epoch, so a pathologically slow epoch cannot stall the simulation.
+const maxScanPassesPerEpoch = 64
+
+// Run executes all VMs to completion (or MaxEpochs), advancing each VM's
+// virtual clock per epoch. VMs step in lockstep so multi-VM memory
+// contention (grants, ballooning, DRF) interleaves realistically.
+func (s *System) Run() error {
+	for epoch := 0; epoch < s.Cfg.MaxEpochs; epoch++ {
+		alive := false
+		for _, inst := range s.VMs {
+			if inst.Done {
+				continue
+			}
+			alive = true
+			if err := s.stepVM(inst); err != nil {
+				return fmt.Errorf("core: VM %d epoch %d: %w", inst.ID, epoch, err)
+			}
+		}
+		if !alive {
+			break
+		}
+	}
+	for _, inst := range s.VMs {
+		if !inst.Done {
+			return fmt.Errorf("core: VM %d did not finish within %d epochs", inst.ID, s.Cfg.MaxEpochs)
+		}
+	}
+	return nil
+}
+
+// stepVM advances one VM by one epoch.
+func (s *System) stepVM(inst *VMInstance) error {
+	prof := inst.W.Profile()
+
+	// 1. Application work against the guest OS.
+	instr, done := inst.W.Step(inst.OS)
+	if instr == 0 && !done {
+		return fmt.Errorf("workload stalled")
+	}
+
+	// 2. Guest epoch maintenance first: watermark reclaim restores the
+	// FastMem free buffer that coordinated promotion lands in.
+	inst.OS.EndEpoch()
+
+	// 3. Hotness tracking + migration. The scanner runs on a wall-clock
+	// cadence (every scan interval of *simulated* time), so memory-bound
+	// configurations — whose epochs take longer — receive proportionally
+	// more scan passes and pay proportionally more tracking cost,
+	// exactly like the real 100 ms timer-driven scanner.
+	if inst.scanner != nil {
+		interval := 100 * sim.Millisecond
+		if inst.interval != nil {
+			interval = inst.interval.Current()
+		}
+		interval *= sim.Duration(inst.scanEvery)
+		passes := 0
+		for inst.scanDebt >= interval && passes < maxScanPassesPerEpoch {
+			inst.scanDebt -= interval
+			passes++
+			switch inst.Mode.Migration {
+			case policy.MigrateVMMExclusive:
+				res := inst.scanner.ScanNext()
+				st := inst.migrator.Rebalance(inst.VM, inst.scanner, s.Cfg.MaxMovesPerPass)
+				inst.OS.AddOSTime(res.CostNs + st.CostNs)
+				inst.Res.ScanCostNs += res.CostNs
+				inst.Res.MigrateCostNs += st.CostNs
+				inst.Res.VMMMigrations += uint64(st.Promoted + st.Demoted)
+				inst.Res.ScanPasses++
+			case policy.MigrateCoordinated:
+				moves := s.Cfg.MaxMovesPerPass
+				if moves > inst.moveBudget {
+					moves = inst.moveBudget
+				}
+				if !inst.OS.PromotionWorthwhile() {
+					// Promotions have stopped paying: drop to a probe
+					// rate and skip most scan passes too — tracking cost
+					// without migration benefit is pure overhead
+					// (Observation 4).
+					if moves > 2 {
+						moves = 2
+					}
+					inst.throttledPasses++
+					if inst.throttledPasses%8 != 0 {
+						continue
+					}
+				}
+				st := vmm.CoordinatedPass(inst.VM, inst.scanner, inst.OS, moves)
+				inst.moveBudget -= st.Promoted + st.Demoted
+				inst.OS.AddOSTime(st.ScanNs)
+				inst.Res.ScanCostNs += st.ScanNs
+				inst.Res.ScanPasses++
+			}
+		}
+		if passes == maxScanPassesPerEpoch {
+			inst.scanDebt = 0 // shed unpayable debt
+		}
+	}
+
+	// 4. Drain the epoch's accounting (includes scan/migration charges).
+	st := inst.OS.DrainEpoch()
+
+	// 5. Convert the epoch's work into LLC-miss traffic. Total miss
+	// volume comes from the workload's MPKI rescaled for the platform
+	// LLC; the per-tier split follows the observed touch distribution.
+	effMPKI := prof.MPKI * s.Cfg.LLC.MPKIScale(prof.WSSBytes)
+	totalMisses := float64(instr) / 1000 * effMPKI
+
+	var loads, stores [memsim.NumTiers]float64
+	var totLoads, totStores float64
+	for t := memsim.Tier(0); t < memsim.NumTiers; t++ {
+		loads[t] = float64(st.UserLoads[t])
+		stores[t] = float64(st.UserStores[t])
+		totLoads += loads[t]
+		totStores += stores[t]
+	}
+	missStores := totalMisses * prof.StoreMissFrac
+	missLoads := totalMisses - missStores
+
+	charge := memsim.EpochCharge{
+		Instr:            instr,
+		Threads:          prof.Threads,
+		MLP:              prof.MLP,
+		BytesPerMiss:     prof.BytesPerMiss,
+		StoreVisibleFrac: 0.35,
+		OSTime:           sim.Duration(st.OSTimeNs),
+	}
+	for t := memsim.Tier(0); t < memsim.NumTiers; t++ {
+		var lm, sm float64
+		if totLoads > 0 {
+			lm = missLoads * loads[t] / totLoads
+		}
+		if totStores > 0 {
+			sm = missStores * stores[t] / totStores
+		} else if totLoads > 0 {
+			// Store misses follow the load distribution when the epoch
+			// recorded no explicit stores.
+			sm = missStores * loads[t] / totLoads
+		}
+		charge.Traffic[t] = memsim.TierTraffic{
+			LoadMisses:  uint64(lm),
+			StoreMisses: uint64(sm),
+		}
+	}
+
+	cost := s.Engine.Charge(charge)
+	inst.Clock.Advance(cost.Total)
+	inst.scanDebt += cost.Total
+	// The coordinated migration budget scales with how well promotions
+	// have been paying: spend aggressively while each move keeps earning
+	// its Table 6 cost back, trickle otherwise.
+	accrual := s.Cfg.CoordMovesPerEpoch
+	if rate := inst.OS.PromoteRate(); rate > 0.5 {
+		accrual *= 1 + int(8*rate)
+	}
+	inst.moveBudget += accrual
+	if inst.moveBudget > 16*s.Cfg.CoordMovesPerEpoch {
+		inst.moveBudget = 16 * s.Cfg.CoordMovesPerEpoch
+	}
+
+	// 6. Adaptive interval (Equation 1): fold this epoch's miss count.
+	if inst.interval != nil {
+		inst.interval.Update(totalMisses)
+	}
+
+	// 7. Accumulate results.
+	if s.Cfg.Trace {
+		var freePct float64
+		if inst.Mode.GuestAware {
+			fast := inst.OS.Node(memsim.FastMem)
+			if fast.MaxPages > 0 {
+				freePct = 100 * float64(fast.FreePages()) / float64(fast.MaxPages)
+			}
+		}
+		inst.TraceLog = append(inst.TraceLog, EpochTrace{
+			Epoch:       inst.Res.Epochs + 1,
+			Total:       cost.Total,
+			CPU:         cost.CPUTime,
+			MemFast:     cost.MemTime[memsim.FastMem],
+			MemSlow:     cost.MemTime[memsim.SlowMem],
+			OS:          cost.OSTime,
+			FastMisses:  cost.Misses[memsim.FastMem],
+			SlowMisses:  cost.Misses[memsim.SlowMem],
+			Demotions:   st.Demotions,
+			Promotions:  st.Promotions,
+			FastFreePct: freePct,
+		})
+	}
+	r := &inst.Res
+	r.Epochs++
+	r.Instr += instr
+	r.SimTime = sim.Duration(inst.Clock.Now())
+	r.CPUTime += cost.CPUTime
+	r.OSTime += cost.OSTime
+	for t := memsim.Tier(0); t < memsim.NumTiers; t++ {
+		r.MemTime[t] += cost.MemTime[t]
+		r.Misses[t] += cost.Misses[t]
+		r.BytesOut[t] += cost.BytesOut[t]
+	}
+	r.Faults += st.Faults
+	r.SwapIns += st.SwapIns
+	r.SwapOuts += st.SwapOuts
+	r.Demotions += st.Demotions
+	r.Promotions += st.Promotions
+	r.CacheEvictions += st.CacheEvictions
+	r.DiskReadPages += st.DiskReadPages
+	r.DiskWritePages += st.DiskWritePages
+
+	if done {
+		inst.Done = true
+		r.FastAllocRequests = sumKinds(inst.OS.WindowLife.Requests)
+		r.FastAllocMisses = sumKinds(inst.OS.WindowLife.Misses)
+		r.FinalCensus = inst.OS.PageCensus()
+		r.CumAllocs = inst.OS.Cum.AllocsByKind
+		r.NetBufChurnPages, r.SlabChurnPages = inst.OS.SlabChurnPageEquivalents()
+	}
+	return nil
+}
+
+func sumKinds(a [guestos.NumKinds]uint64) uint64 {
+	var n uint64
+	for _, v := range a {
+		n += v
+	}
+	return n
+}
+
+// RunSingle is a convenience wrapper: build a one-VM system, run it, and
+// return the VM's result.
+func RunSingle(cfg Config) (*VMResult, *System, error) {
+	if len(cfg.VMs) != 1 {
+		return nil, nil, fmt.Errorf("core: RunSingle needs exactly one VM")
+	}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := sys.Run(); err != nil {
+		return nil, sys, err
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		return nil, sys, err
+	}
+	return &sys.VMs[0].Res, sys, nil
+}

@@ -1,0 +1,103 @@
+package drf
+
+import "fmt"
+
+// MaxMin is the single-resource max-min fairness baseline the paper's
+// VMMs use today (Section 4.2): each resource is shared independently —
+// every client is guaranteed its reservation, and unused capacity is
+// distributed evenly among clients demanding more (overcommit). Because
+// each resource is arbitrated in isolation, fairness can only be
+// guaranteed for one memory type at a time, which is exactly the failure
+// mode Figure 13 demonstrates.
+type MaxMin struct {
+	capacity []float64
+	reserved map[ClientID][]float64
+	order    []ClientID
+}
+
+// NewMaxMin builds a max-min arbiter over the given capacities.
+func NewMaxMin(capacities []float64) (*MaxMin, error) {
+	if len(capacities) == 0 {
+		return nil, fmt.Errorf("drf: empty capacities")
+	}
+	return &MaxMin{
+		capacity: append([]float64(nil), capacities...),
+		reserved: make(map[ClientID][]float64),
+	}, nil
+}
+
+// AddClient registers a client with its per-resource reservation (the
+// "basic share, or what it paid for").
+func (m *MaxMin) AddClient(id ClientID, reservation []float64) error {
+	if _, ok := m.reserved[id]; ok {
+		return fmt.Errorf("drf: client %d already registered", id)
+	}
+	if len(reservation) != len(m.capacity) {
+		return fmt.Errorf("drf: reservation dimension mismatch")
+	}
+	m.reserved[id] = append([]float64(nil), reservation...)
+	m.order = append(m.order, id)
+	return nil
+}
+
+// Share computes the max-min allocation of each resource independently
+// given the clients' demands: first every client receives
+// min(demand, reservation); remaining capacity is progressively filled
+// among unsatisfied clients.
+func (m *MaxMin) Share(demands map[ClientID][]float64) map[ClientID][]float64 {
+	out := make(map[ClientID][]float64, len(m.order))
+	for _, id := range m.order {
+		out[id] = make([]float64, len(m.capacity))
+	}
+	for j := range m.capacity {
+		remaining := m.capacity[j]
+		unmet := make(map[ClientID]float64)
+		// Guaranteed shares first.
+		for _, id := range m.order {
+			d := 0.0
+			if dv, ok := demands[id]; ok {
+				d = dv[j]
+			}
+			g := min2(d, m.reserved[id][j])
+			g = min2(g, remaining)
+			out[id][j] = g
+			remaining -= g
+			if d > g {
+				unmet[id] = d - g
+			}
+		}
+		// Progressive filling of the overcommit pool.
+		for remaining > 1e-9 && len(unmet) > 0 {
+			share := remaining / float64(len(unmet))
+			progressed := false
+			for _, id := range m.order {
+				need, ok := unmet[id]
+				if !ok {
+					continue
+				}
+				g := min2(share, need)
+				out[id][j] += g
+				remaining -= g
+				if need-g <= 1e-9 {
+					delete(unmet, id)
+				} else {
+					unmet[id] = need - g
+				}
+				if g > 0 {
+					progressed = true
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

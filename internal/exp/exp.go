@@ -1,0 +1,160 @@
+// Package exp reproduces every table and figure of the paper's
+// evaluation: each experiment builds the corresponding system
+// configurations through internal/core, runs them, and renders the same
+// rows/series the paper reports as a text table.
+//
+// Absolute numbers come from the simulator, not the authors' testbed;
+// the reproduction target is the shape — orderings, approximate factors,
+// crossover locations — recorded against the paper in EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"heteroos/internal/core"
+	"heteroos/internal/memsim"
+	"heteroos/internal/metrics"
+	"heteroos/internal/policy"
+	"heteroos/internal/workload"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Quick shrinks sweeps (fewer apps / points) for fast test runs.
+	Quick bool
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Result is one reproduced artifact.
+type Result struct {
+	ID    string
+	Table *metrics.Table
+	Notes string
+}
+
+// Experiment couples an identifier with its runner.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(Options) (*Result, error)
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", "Heterogeneous memory characteristics", Table1},
+		{"table2", "Datacenter applications", Table2},
+		{"table3", "Throttle factors vs latency/bandwidth", Table3},
+		{"table4", "Memory intensity of applications (MPKI)", Table4},
+		{"table5", "HeteroOS incremental mechanisms", Table5},
+		{"table6", "Per-page migration cost vs batch size", Table6},
+		{"figure1", "Bandwidth and latency sensitivity (16MB LLC)", Figure1},
+		{"figure2", "Intel NVM emulator sensitivity (48MB LLC)", Figure2},
+		{"figure3", "FastMem capacity impact", Figure3},
+		{"figure4", "Application memory page distribution", Figure4},
+		{"figure6", "Memory latency microbenchmark", Figure6},
+		{"figure7", "Stream bandwidth microbenchmark", Figure7},
+		{"figure8", "VMM-exclusive hotness-tracking and migration cost", Figure8},
+		{"figure9", "Impact of OS heterogeneity awareness", Figure9},
+		{"figure10", "FastMem allocation miss ratio", Figure10},
+		{"figure11", "Impact of HeteroOS-coordinated", Figure11},
+		{"figure12", "Gains exclusively from page migrations", Figure12},
+		{"figure13", "Impact of multi-VM resource sharing", Figure13},
+		{"ext-nvm", "Extension: write-aware migration on NVM-class SlowMem", ExtNVM},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists the registry identifiers.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- shared run plumbing ---
+
+// wcfg is the workload construction config shared by all experiments.
+func wcfg(o Options) workload.Config {
+	return workload.Config{Seed: o.seed()}
+}
+
+// pages converts real bytes to scaled pages.
+func pages(bytes int64) uint64 {
+	return workload.Config{}.Pages(bytes)
+}
+
+// Standard single-VM shape: each guest has 8 GiB SlowMem (Section 5.1)
+// and a FastMem capacity the experiment varies.
+var (
+	slowVM = pages(8 * workload.GiB)
+)
+
+// runOne executes one app under one mode at the given FastMem size and
+// tier/LLC configuration.
+func runOne(o Options, app string, mode policy.Mode, fastPages uint64,
+	slowSpec memsim.TierSpec, llc memsim.LLC) (*core.VMResult, error) {
+	w, err := workload.ByName(app, wcfg(o))
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		// The machine holds whatever the VM may need; AllFastMem needs
+		// fast+slow worth of FastMem frames.
+		FastFrames: fastPages + slowVM + 8192,
+		SlowFrames: slowVM + 8192,
+		SlowSpec:   slowSpec,
+		LLC:        llc,
+		Seed:       o.seed(),
+		VMs: []core.VMConfig{{
+			ID: 1, Mode: mode, Workload: w,
+			FastPages: fastPages, SlowPages: slowVM,
+		}},
+	}
+	res, _, err := core.RunSingle(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", app, mode.Name, err)
+	}
+	return res, nil
+}
+
+// runDefault uses the paper's main SlowMem (L:5,B:9) and reference LLC.
+func runDefault(o Options, app string, mode policy.Mode, fastPages uint64) (*core.VMResult, error) {
+	return runOne(o, app, mode, fastPages, memsim.SlowTierSpec(), memsim.DefaultLLC())
+}
+
+// evalApps returns the application list the placement figures use
+// (NGinx is excluded as in the paper: <10% heterogeneity impact).
+func evalApps(o Options) []string {
+	if o.Quick {
+		return []string{"GraphChi", "LevelDB"}
+	}
+	return []string{"GraphChi", "X-Stream", "Metis", "LevelDB", "Redis"}
+}
+
+// ratioPages converts a FastMem:SlowMem capacity ratio (denominator den,
+// i.e. 1/den) into FastMem pages against the 8 GiB SlowMem.
+func ratioPages(den int) uint64 {
+	return slowVM / uint64(den)
+}

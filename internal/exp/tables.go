@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+
+	"heteroos/internal/guestos"
+	"heteroos/internal/memsim"
+	"heteroos/internal/metrics"
+	"heteroos/internal/policy"
+	"heteroos/internal/workload"
+)
+
+// Table1 renders the heterogeneous memory device catalog.
+func Table1(o Options) (*Result, error) {
+	t := metrics.NewTable("Table 1: Heterogeneous memory characteristics",
+		"Property", "Stacked-3D", "DRAM", "NVM (PCM)")
+	get := func(c memsim.DeviceClass) memsim.DeviceSpec {
+		d, ok := memsim.DeviceByClass(c)
+		if !ok {
+			panic("missing device")
+		}
+		return d
+	}
+	s3d, dram, nvm := get(memsim.ClassStacked3D), get(memsim.ClassDRAM), get(memsim.ClassNVM)
+	rng := func(lo, hi float64) string {
+		if lo == hi {
+			return fmt.Sprintf("%g", lo)
+		}
+		return fmt.Sprintf("%g-%g", lo, hi)
+	}
+	t.AddRow("Density (x)", rng(s3d.DensityMin, s3d.DensityMax), rng(dram.DensityMin, dram.DensityMax), rng(nvm.DensityMin, nvm.DensityMax))
+	t.AddRow("Load latency (ns)", rng(s3d.LoadLatencyMinNs, s3d.LoadLatencyMaxNs), rng(dram.LoadLatencyMinNs, dram.LoadLatencyMaxNs), rng(nvm.LoadLatencyMinNs, nvm.LoadLatencyMaxNs))
+	t.AddRow("Store latency (ns)", rng(s3d.StoreLatencyMinNs, s3d.StoreLatencyMaxNs), rng(dram.StoreLatencyMinNs, dram.StoreLatencyMaxNs), rng(nvm.StoreLatencyMinNs, nvm.StoreLatencyMaxNs))
+	t.AddRow("BW (GB/sec)", rng(s3d.BandwidthMinGBs, s3d.BandwidthMaxGBs), rng(dram.BandwidthMinGBs, dram.BandwidthMaxGBs), rng(nvm.BandwidthMinGBs, nvm.BandwidthMaxGBs))
+	return &Result{ID: "table1", Table: t}, nil
+}
+
+// Table2 renders the application suite from the live workload registry.
+func Table2(o Options) (*Result, error) {
+	t := metrics.NewTable("Table 2: Datacenter applications",
+		"Application", "Description", "Perf. metric")
+	for _, name := range workload.Names() {
+		w, err := workload.ByName(name, wcfg(o))
+		if err != nil {
+			return nil, err
+		}
+		p := w.Profile()
+		t.AddRow(p.Name, p.Description, p.Metric)
+	}
+	return &Result{ID: "table2", Table: t}, nil
+}
+
+// Table3 renders the throttle-factor table.
+func Table3(o Options) (*Result, error) {
+	t := metrics.NewTable("Table 3: DRAM throttling points (L:x latency factor, B:y bandwidth factor)",
+		"Factor", "Latency (ns)", "BW (GB/s)")
+	for _, th := range memsim.ThrottleTable {
+		t.AddRow(th.String(), th.LatencyNs(), th.BandwidthGBs())
+	}
+	return &Result{ID: "table3", Table: t}, nil
+}
+
+// Table4 renders each application's memory intensity: the calibrated
+// reference MPKI plus the effective MPKI after the LLC model accounts
+// for the working set on the reference platform.
+func Table4(o Options) (*Result, error) {
+	t := metrics.NewTable("Table 4: Memory intensity of applications",
+		"App", "MPKI (reference)", "WSS (GiB)", "Effective MPKI (16MB LLC)")
+	llc := memsim.DefaultLLC()
+	for _, name := range workload.Names() {
+		w, err := workload.ByName(name, wcfg(o))
+		if err != nil {
+			return nil, err
+		}
+		p := w.Profile()
+		t.AddRow(p.Name, p.MPKI, float64(p.WSSBytes)/float64(workload.GiB),
+			p.MPKI*llc.MPKIScale(p.WSSBytes))
+	}
+	return &Result{ID: "table4", Table: t}, nil
+}
+
+// Table5 renders the incremental mechanism catalog from the live policy
+// registry.
+func Table5(o Options) (*Result, error) {
+	t := metrics.NewTable("Table 5: HeteroOS incremental mechanisms",
+		"Mechanism", "Description")
+	for _, m := range policy.Table5() {
+		t.AddRow(m.Name, m.Description)
+	}
+	return &Result{ID: "table5", Table: t}, nil
+}
+
+// Table6 renders the per-page migration cost model at the measured and
+// interpolated batch sizes.
+func Table6(o Options) (*Result, error) {
+	t := metrics.NewTable("Table 6: Per-page migration cost vs batch size",
+		"Batch size", "T_page_move (µs)", "T_page_walk (µs)")
+	for _, batch := range []int{8 * 1024, 32 * 1024, 64 * 1024, 128 * 1024} {
+		walk, cp := guestos.MigrationBatchCosts(batch)
+		t.AddRow(fmt.Sprintf("%dK", batch/1024), cp/1000, walk/1000)
+	}
+	return &Result{ID: "table6", Table: t}, nil
+}

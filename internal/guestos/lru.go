@@ -1,0 +1,240 @@
+package guestos
+
+import (
+	"fmt"
+
+	"heteroos/internal/memsim"
+)
+
+// PageStore owns the guest's per-frame metadata array (the struct page
+// array). PFNs index it directly.
+type PageStore struct {
+	pages []Page
+}
+
+// NewPageStore creates metadata for n frames, all initially unpopulated.
+func NewPageStore(n uint64) *PageStore {
+	s := &PageStore{pages: make([]Page, n)}
+	for i := range s.pages {
+		s.pages[i] = Page{MFN: memsim.NilMFN, VPN: NilVPN, lruPrev: NilPFN, lruNext: NilPFN}
+	}
+	return s
+}
+
+// Page returns the metadata for pfn.
+func (s *PageStore) Page(pfn PFN) *Page {
+	return &s.pages[pfn]
+}
+
+// Len reports the number of frames tracked.
+func (s *PageStore) Len() uint64 { return uint64(len(s.pages)) }
+
+// lruList is an intrusive doubly-linked list threaded through the page
+// store via lruPrev/lruNext.
+type lruList struct {
+	head, tail PFN
+	count      uint64
+}
+
+func newLRUList() lruList { return lruList{head: NilPFN, tail: NilPFN} }
+
+// PageLRU is the split LRU of one node: an active list of recently-used
+// pages and an inactive list of reclaim candidates (Section 3.3:
+// "Linux uses an approximate split LRU that maintains an active list of
+// hot or recently used pages, and an inactive list with cold pages").
+type PageLRU struct {
+	store    *PageStore
+	active   lruList
+	inactive lruList
+
+	activations, deactivations uint64
+}
+
+// NewPageLRU builds an empty LRU over store.
+func NewPageLRU(store *PageStore) *PageLRU {
+	return &PageLRU{store: store, active: newLRUList(), inactive: newLRUList()}
+}
+
+func (l *PageLRU) list(active bool) *lruList {
+	if active {
+		return &l.active
+	}
+	return &l.inactive
+}
+
+func (l *PageLRU) pushHead(lst *lruList, pfn PFN) {
+	p := l.store.Page(pfn)
+	p.lruPrev = NilPFN
+	p.lruNext = lst.head
+	if lst.head != NilPFN {
+		l.store.Page(lst.head).lruPrev = pfn
+	}
+	lst.head = pfn
+	if lst.tail == NilPFN {
+		lst.tail = pfn
+	}
+	lst.count++
+}
+
+func (l *PageLRU) unlink(lst *lruList, pfn PFN) {
+	p := l.store.Page(pfn)
+	if p.lruPrev != NilPFN {
+		l.store.Page(p.lruPrev).lruNext = p.lruNext
+	} else {
+		lst.head = p.lruNext
+	}
+	if p.lruNext != NilPFN {
+		l.store.Page(p.lruNext).lruPrev = p.lruPrev
+	} else {
+		lst.tail = p.lruPrev
+	}
+	p.lruPrev, p.lruNext = NilPFN, NilPFN
+	lst.count--
+}
+
+// Insert adds a newly allocated page to the inactive list. New pages
+// must earn activation through reuse.
+func (l *PageLRU) Insert(pfn PFN) {
+	p := l.store.Page(pfn)
+	if p.Has(FlagOnLRU) {
+		panic(fmt.Sprintf("lru: page %d inserted twice", pfn))
+	}
+	p.Set(FlagOnLRU)
+	p.Clear(FlagActive)
+	l.pushHead(&l.inactive, pfn)
+}
+
+// Remove takes a page off the LRU entirely (page being freed or
+// migrated away from this node).
+func (l *PageLRU) Remove(pfn PFN) {
+	p := l.store.Page(pfn)
+	if !p.Has(FlagOnLRU) {
+		panic(fmt.Sprintf("lru: removing page %d not on LRU", pfn))
+	}
+	l.unlink(l.list(p.Has(FlagActive)), pfn)
+	p.Clear(FlagOnLRU | FlagActive)
+}
+
+// Contains reports whether pfn is on this LRU.
+func (l *PageLRU) Contains(pfn PFN) bool {
+	return l.store.Page(pfn).Has(FlagOnLRU)
+}
+
+// MarkAccessed implements mark_page_accessed semantics: the first touch
+// sets the referenced bit; a second touch while on the inactive list
+// promotes the page to the active list.
+func (l *PageLRU) MarkAccessed(pfn PFN) {
+	p := l.store.Page(pfn)
+	if !p.Has(FlagOnLRU) {
+		return
+	}
+	if p.Has(FlagActive) {
+		p.Set(FlagAccessed)
+		return
+	}
+	if p.Has(FlagAccessed) {
+		// Second reference on the inactive list: activate.
+		l.unlink(&l.inactive, pfn)
+		p.Set(FlagActive)
+		l.pushHead(&l.active, pfn)
+		l.activations++
+		return
+	}
+	p.Set(FlagAccessed)
+}
+
+// Deactivate moves an active page to the inactive list head, clearing
+// its referenced bit (shrink_active_list behaviour).
+func (l *PageLRU) Deactivate(pfn PFN) {
+	p := l.store.Page(pfn)
+	if !p.Has(FlagOnLRU) || !p.Has(FlagActive) {
+		return
+	}
+	l.unlink(&l.active, pfn)
+	p.Clear(FlagActive | FlagAccessed)
+	l.pushHead(&l.inactive, pfn)
+	l.deactivations++
+}
+
+// Balance demotes up to max pages from the active tail while the active
+// list outnumbers the inactive list, returning the demoted pages. It is
+// called under reclaim pressure only (like shrink_active_list): balancing
+// without pressure would strip hot pages of their protection. HeteroOS-
+// LRU uses the returned set to demote eagerly ("actively monitors the
+// active to an inactive state change ... and immediately evicts them
+// from FastMem").
+func (l *PageLRU) Balance(max int) []PFN {
+	var demoted []PFN
+	for len(demoted) < max && l.active.count > l.inactive.count && l.active.tail != NilPFN {
+		pfn := l.active.tail
+		l.Deactivate(pfn)
+		demoted = append(demoted, pfn)
+	}
+	return demoted
+}
+
+// TailInactive returns the coldest inactive page, or NilPFN.
+func (l *PageLRU) TailInactive() PFN { return l.inactive.tail }
+
+// RotateInactive gives a referenced inactive tail page a second chance
+// by moving it to the inactive head with its referenced bit cleared.
+func (l *PageLRU) RotateInactive(pfn PFN) {
+	p := l.store.Page(pfn)
+	if !p.Has(FlagOnLRU) || p.Has(FlagActive) {
+		return
+	}
+	l.unlink(&l.inactive, pfn)
+	p.Clear(FlagAccessed)
+	l.pushHead(&l.inactive, pfn)
+}
+
+// ActiveCount reports the active list length.
+func (l *PageLRU) ActiveCount() uint64 { return l.active.count }
+
+// InactiveCount reports the inactive list length.
+func (l *PageLRU) InactiveCount() uint64 { return l.inactive.count }
+
+// Count reports total resident pages on the LRU.
+func (l *PageLRU) Count() uint64 { return l.active.count + l.inactive.count }
+
+// Stats reports activation/deactivation counters.
+func (l *PageLRU) Stats() (activations, deactivations uint64) {
+	return l.activations, l.deactivations
+}
+
+// CheckInvariants walks both lists verifying link integrity, flag
+// consistency, and counts.
+func (l *PageLRU) CheckInvariants() error {
+	for _, c := range []struct {
+		lst    *lruList
+		active bool
+		name   string
+	}{{&l.active, true, "active"}, {&l.inactive, false, "inactive"}} {
+		var n uint64
+		prev := NilPFN
+		for pfn := c.lst.head; pfn != NilPFN; pfn = l.store.Page(pfn).lruNext {
+			p := l.store.Page(pfn)
+			if !p.Has(FlagOnLRU) {
+				return fmt.Errorf("lru: %s page %d missing FlagOnLRU", c.name, pfn)
+			}
+			if p.Has(FlagActive) != c.active {
+				return fmt.Errorf("lru: page %d active flag mismatch on %s list", pfn, c.name)
+			}
+			if p.lruPrev != prev {
+				return fmt.Errorf("lru: page %d prev link broken on %s list", pfn, c.name)
+			}
+			prev = pfn
+			n++
+			if n > l.store.Len() {
+				return fmt.Errorf("lru: %s list cycle", c.name)
+			}
+		}
+		if prev != c.lst.tail {
+			return fmt.Errorf("lru: %s tail mismatch", c.name)
+		}
+		if n != c.lst.count {
+			return fmt.Errorf("lru: %s count %d != walked %d", c.name, c.lst.count, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package guestos
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// lruFixture builds a PageLRU over a private store; pages are marked
+// in-use so Insert's flag checks behave as in production.
+func lruFixture(n uint64) (*PageStore, *PageLRU) {
+	store := NewPageStore(n)
+	for pfn := PFN(0); pfn < PFN(n); pfn++ {
+		store.Page(pfn).Kind = KindAnon
+	}
+	return store, NewPageLRU(store)
+}
+
+func TestLRUInsertRemove(t *testing.T) {
+	_, l := lruFixture(16)
+	l.Insert(3)
+	l.Insert(7)
+	if l.Count() != 2 || l.InactiveCount() != 2 || l.ActiveCount() != 0 {
+		t.Fatalf("counts wrong: %d/%d/%d", l.Count(), l.InactiveCount(), l.ActiveCount())
+	}
+	if !l.Contains(3) || l.Contains(4) {
+		t.Fatal("Contains wrong")
+	}
+	l.Remove(3)
+	if l.Count() != 1 || l.Contains(3) {
+		t.Fatal("remove failed")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUDoubleInsertPanics(t *testing.T) {
+	_, l := lruFixture(4)
+	l.Insert(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double insert did not panic")
+		}
+	}()
+	l.Insert(1)
+}
+
+func TestLRURemoveAbsentPanics(t *testing.T) {
+	_, l := lruFixture(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("remove of absent page did not panic")
+		}
+	}()
+	l.Remove(2)
+}
+
+func TestLRUSecondChanceActivation(t *testing.T) {
+	_, l := lruFixture(8)
+	l.Insert(0)
+	l.MarkAccessed(0) // first touch: referenced bit only
+	if l.ActiveCount() != 0 {
+		t.Fatal("activated on first touch")
+	}
+	l.MarkAccessed(0) // second touch: activate
+	if l.ActiveCount() != 1 || l.InactiveCount() != 0 {
+		t.Fatal("second touch did not activate")
+	}
+	acts, _ := l.Stats()
+	if acts != 1 {
+		t.Fatalf("activations = %d", acts)
+	}
+}
+
+func TestLRUDeactivateAndRotate(t *testing.T) {
+	store, l := lruFixture(8)
+	l.Insert(0)
+	l.MarkAccessed(0)
+	l.MarkAccessed(0)
+	l.Deactivate(0)
+	if l.ActiveCount() != 0 || store.Page(0).Has(FlagAccessed) {
+		t.Fatal("deactivate must clear referenced bit and move lists")
+	}
+	// Tail rotation clears the bit and keeps the page inactive.
+	l.Insert(1)
+	store.Page(1).Set(FlagAccessed)
+	l.RotateInactive(1)
+	if store.Page(1).Has(FlagAccessed) || !l.Contains(1) {
+		t.Fatal("rotate semantics wrong")
+	}
+	// TailInactive returns the oldest inactive page (0, then rotated 1
+	// went to the head).
+	if got := l.TailInactive(); got != 0 {
+		t.Fatalf("tail = %d, want 0", got)
+	}
+}
+
+func TestLRUBalanceCapsAndOrder(t *testing.T) {
+	_, l := lruFixture(64)
+	// Build a large active list.
+	for pfn := PFN(0); pfn < 10; pfn++ {
+		l.Insert(pfn)
+		l.MarkAccessed(pfn)
+		l.MarkAccessed(pfn)
+	}
+	if l.ActiveCount() != 10 {
+		t.Fatal("setup failed")
+	}
+	demoted := l.Balance(3)
+	if len(demoted) != 3 {
+		t.Fatalf("Balance demoted %d, want cap 3", len(demoted))
+	}
+	// Oldest activations demote first (active tail).
+	if demoted[0] != 0 || demoted[1] != 1 || demoted[2] != 2 {
+		t.Fatalf("demotion order wrong: %v", demoted)
+	}
+	// Balance stops once lists even out.
+	all := l.Balance(100)
+	if l.ActiveCount() > l.InactiveCount() {
+		t.Fatalf("unbalanced after full Balance: %d/%d (moved %d)",
+			l.ActiveCount(), l.InactiveCount(), len(all))
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUMarkAccessedOffList(t *testing.T) {
+	store, l := lruFixture(4)
+	// Pages not on the LRU are ignored without panic.
+	l.MarkAccessed(2)
+	if store.Page(2).Has(FlagAccessed) {
+		t.Fatal("off-list page must not gain the referenced bit via LRU")
+	}
+}
+
+func TestLRUInvariantProperty(t *testing.T) {
+	// Property: arbitrary insert/touch/deactivate/balance/remove
+	// interleavings keep both lists structurally sound and every page on
+	// exactly one list.
+	f := func(ops []uint16) bool {
+		store, l := lruFixture(64)
+		onLRU := map[PFN]bool{}
+		for _, op := range ops {
+			pfn := PFN(op % 64)
+			switch op % 5 {
+			case 0:
+				if !onLRU[pfn] {
+					l.Insert(pfn)
+					onLRU[pfn] = true
+				}
+			case 1:
+				if onLRU[pfn] {
+					l.MarkAccessed(pfn)
+				}
+			case 2:
+				if onLRU[pfn] {
+					l.Deactivate(pfn)
+				}
+			case 3:
+				l.Balance(int(op>>4) % 8)
+			case 4:
+				if onLRU[pfn] {
+					l.Remove(pfn)
+					delete(onLRU, pfn)
+				}
+			}
+		}
+		if int(l.Count()) != len(onLRU) {
+			return false
+		}
+		for pfn := range onLRU {
+			if !store.Page(pfn).Has(FlagOnLRU) {
+				return false
+			}
+		}
+		return l.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageFlagsHelpers(t *testing.T) {
+	var p Page
+	p.Set(FlagDirty | FlagActive)
+	if !p.Has(FlagDirty) || !p.Has(FlagActive) || !p.Has(FlagDirty|FlagActive) {
+		t.Fatal("Has broken")
+	}
+	if p.Has(FlagDirty | FlagPinned) {
+		t.Fatal("Has must require all bits")
+	}
+	p.Clear(FlagDirty)
+	if p.Has(FlagDirty) || !p.Has(FlagActive) {
+		t.Fatal("Clear broken")
+	}
+}
+
+func TestPageKindStringsAndMovability(t *testing.T) {
+	if KindAnon.String() != "heap/anon" || KindNetBuf.String() != "NW-buff" {
+		t.Fatal("kind names diverge from Figure 4 labels")
+	}
+	if PageKind(77).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+	movable := map[PageKind]bool{
+		KindAnon: true, KindPageCache: true, KindNetBuf: true, KindSlab: true,
+		KindPageTable: false, KindDMA: false, KindFree: false,
+	}
+	for k, want := range movable {
+		if k.Movable() != want {
+			t.Errorf("%v movable = %v, want %v", k, k.Movable(), want)
+		}
+	}
+}

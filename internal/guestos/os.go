@@ -1,0 +1,754 @@
+package guestos
+
+import (
+	"fmt"
+
+	"heteroos/internal/guestos/pagecache"
+	"heteroos/internal/guestos/slab"
+	"heteroos/internal/memsim"
+	"heteroos/internal/sim"
+)
+
+// FrameSource is the VMM-side back-end of the on-demand allocation
+// driver (Figure 5, steps 1-3): the guest requests machine frames of a
+// specific memory type, and returns them under memory pressure.
+type FrameSource interface {
+	// Populate grants up to want frames of tier t; fewer (or none) when
+	// the VMM's share policy denies the request.
+	Populate(t memsim.Tier, want uint64) []memsim.MFN
+	// PopulateAny grants frames of whatever tiers the VMM chooses;
+	// used by heterogeneity-unaware guests whose single node cannot
+	// express a type (the VMM-exclusive baseline).
+	PopulateAny(want uint64) []memsim.MFN
+	// Release returns frames to the VMM.
+	Release(mfns []memsim.MFN)
+}
+
+// Config configures one guest OS instance.
+type Config struct {
+	// CPUs is the number of vCPUs (per-CPU free-list dimensioning).
+	CPUs int
+	// Aware selects heterogeneity-aware mode: one NUMA node per memory
+	// type. When false the guest has a single node and the VMM manages
+	// placement transparently (HeteroVisor model).
+	Aware bool
+	// FastMaxPages / SlowMaxPages bound each node's span. In transparent
+	// mode the single node spans FastMaxPages+SlowMaxPages.
+	FastMaxPages, SlowMaxPages uint64
+	// BootFastPages / BootSlowPages are populated at boot.
+	BootFastPages, BootSlowPages uint64
+	// Placement is the policy knob set.
+	Placement PlacementConfig
+	// Source provides machine frames.
+	Source FrameSource
+	// TierOf resolves a machine frame to its tier (Machine.TierOf).
+	TierOf func(memsim.MFN) memsim.Tier
+	// Costs prices software operations; zero value takes DefaultCosts.
+	Costs CostModel
+	// Seed derives the OS-private RNG.
+	Seed uint64
+}
+
+// EpochStats is what the OS accumulates during an epoch for the pricing
+// engine and experiment harness. Counters are cumulative within the
+// epoch and reset by DrainEpoch.
+type EpochStats struct {
+	// UserLoads/UserStores are application page touches by tier.
+	UserLoads, UserStores [memsim.NumTiers]uint64
+	// KernelCopyBytes is data the kernel moved through pages of each
+	// tier (I/O copies, network buffer copies); priced at tier bandwidth.
+	KernelCopyBytes [memsim.NumTiers]float64
+	// OSTimeNs is tier-independent software time (faults, allocator,
+	// balloon, migration walks/copies, disk waits).
+	OSTimeNs float64
+	// Event counters.
+	Faults, SwapIns, SwapOuts     uint64
+	Demotions, Promotions         uint64
+	CacheEvictions                uint64
+	DiskReadPages, DiskWritePages uint64
+	BalloonPagesIn                uint64
+	MigrationsSkipped             uint64
+}
+
+// CumulativeStats track whole-run totals for the census figures.
+type CumulativeStats struct {
+	AllocsByKind [NumKinds]uint64
+	FreesByKind  [NumKinds]uint64
+}
+
+const (
+	populateBatchPages = 512
+	reclaimBatchPages  = 128
+	statsWindowEpochs  = 4
+	writebackPerEpoch  = 1024
+)
+
+// OS is one guest VM's operating system memory manager.
+type OS struct {
+	cfg   Config
+	costs CostModel
+	rng   *sim.RNG
+
+	store *PageStore
+	nodes []*Node    // aware: [FastMem, SlowMem]; transparent: [all]
+	lrus  []*PageLRU // parallel to nodes
+	// unpopulated tracks depopulated span slots per node, popped in
+	// LIFO order for repopulation.
+	unpopulated [][]PFN
+
+	AS    *AddrSpace
+	PC    *pagecache.Cache
+	Slabs map[string]*slab.Cache
+	swap  *swapSpace
+
+	epoch      uint32
+	ep         EpochStats
+	Cum        CumulativeStats
+	Window     AllocStats // demand window for prioritisation & Figure 10
+	WindowLife AllocStats // whole-run alloc stats (never reset)
+
+	// netRefs holds live network buffer objects between NetRecv/NetSend
+	// calls within an epoch.
+	netRefs []slab.ObjRef
+
+	// Admission-value tracking: reclaiming FastMem to admit allocations
+	// only pays off when admitted pages actually become hot. The OS
+	// samples recent FastMem admissions and measures how many were
+	// activated a few epochs later; reclaim throttles itself when the
+	// admission hit rate collapses (e.g. a cold fault stream), exactly
+	// the case where demoting resident pages for new arrivals is waste.
+	admitRing []admitSample
+	admitRate float64 // EWMA of activation rate; starts optimistic
+	admitSeen int
+	// Promotion-value tracking, same idea for coordinated promotions.
+	promoteRing []admitSample
+	promoteRate float64
+	promoteSeen int
+	// Demotion-regret tracking: a demoted page that is re-touched soon
+	// was a wasted (harmful) move; reclaim throttles when regret climbs.
+	demoteRing   []admitSample
+	demoteRegret float64
+	demoteSeen   int
+}
+
+// admitSample records one sampled FastMem admission.
+type admitSample struct {
+	pfn   PFN
+	tag   uint64
+	epoch uint32
+}
+
+// Slab cache names the OS creates at boot.
+const (
+	SlabSkbuff = "skbuff" // network buffers (KindNetBuf pages)
+	SlabFSMeta = "fsmeta" // filesystem metadata (KindSlab pages)
+	SlabDentry = "dentry"
+	SlabInode  = "inode"
+)
+
+// New boots a guest OS: builds nodes, populates boot reservations, and
+// initialises every subsystem.
+func New(cfg Config) (*OS, error) {
+	if cfg.CPUs <= 0 {
+		return nil, fmt.Errorf("guestos: need at least one CPU")
+	}
+	if cfg.Source == nil || cfg.TierOf == nil {
+		return nil, fmt.Errorf("guestos: Source and TierOf are required")
+	}
+	if (cfg.Costs == CostModel{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	o := &OS{
+		cfg:         cfg,
+		costs:       cfg.Costs,
+		rng:         sim.NewRNG(cfg.Seed ^ 0x6865746572),
+		swap:        newSwapSpace(),
+		admitRate:   1, // optimistic until evidence accumulates
+		promoteRate: 1,
+	}
+
+	total := cfg.FastMaxPages + cfg.SlowMaxPages
+	o.store = NewPageStore(total)
+	if cfg.Aware {
+		fast := newNode(memsim.FastMem, 0, cfg.FastMaxPages, cfg.CPUs, true)
+		slow := newNode(memsim.SlowMem, PFN(cfg.FastMaxPages), cfg.SlowMaxPages, cfg.CPUs, true)
+		// HeteroOS-LRU per-memory-type thresholds: keep a small free
+		// reserve in FastMem so bursts allocate without synchronous
+		// reclaim.
+		fast.LowWatermark = maxU64(32, cfg.FastMaxPages/50)
+		fast.HighWatermark = 2 * fast.LowWatermark
+		o.nodes = []*Node{fast, slow}
+	} else {
+		n := newNode(memsim.FastMem, 0, total, cfg.CPUs, false)
+		o.nodes = []*Node{n}
+	}
+	o.lrus = make([]*PageLRU, len(o.nodes))
+	o.unpopulated = make([][]PFN, len(o.nodes))
+	for i, n := range o.nodes {
+		o.lrus[i] = NewPageLRU(o.store)
+		// Span slots in descending order so pops ascend.
+		slots := make([]PFN, 0, n.MaxPages)
+		for p := n.MaxPages; p > 0; p-- {
+			slots = append(slots, n.Base+PFN(p-1))
+		}
+		o.unpopulated[i] = slots
+	}
+
+	o.AS = newAddrSpace(o)
+	o.PC = pagecache.New(
+		func() (uint64, bool) {
+			pfn, ok := o.allocPage(KindPageCache, 0)
+			return uint64(pfn), ok
+		},
+		func(pfn uint64) { o.freePage(PFN(pfn)) },
+	)
+	o.Slabs = map[string]*slab.Cache{
+		SlabSkbuff: o.newSlabCache(SlabSkbuff, 256, KindNetBuf),
+		SlabFSMeta: o.newSlabCache(SlabFSMeta, 4096, KindSlab),
+		SlabDentry: o.newSlabCache(SlabDentry, 192, KindSlab),
+		SlabInode:  o.newSlabCache(SlabInode, 640, KindSlab),
+	}
+
+	// Boot reservation.
+	if cfg.Aware {
+		if got := o.populateNode(0, cfg.BootFastPages); got < cfg.BootFastPages {
+			return nil, fmt.Errorf("guestos: boot FastMem reservation short: %d/%d", got, cfg.BootFastPages)
+		}
+		if got := o.populateNode(1, cfg.BootSlowPages); got < cfg.BootSlowPages {
+			return nil, fmt.Errorf("guestos: boot SlowMem reservation short: %d/%d", got, cfg.BootSlowPages)
+		}
+	} else {
+		want := cfg.BootFastPages + cfg.BootSlowPages
+		if got := o.populateNode(0, want); got < want {
+			return nil, fmt.Errorf("guestos: boot reservation short: %d/%d", got, want)
+		}
+	}
+	return o, nil
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (o *OS) newSlabCache(name string, objSize int, kind PageKind) *slab.Cache {
+	return slab.New(name, objSize, 1,
+		func(n int) (uint64, bool) {
+			// Slab pages are order-0 here (pagesPerSlab 1).
+			pfn, ok := o.allocPage(kind, 0)
+			return uint64(pfn), ok
+		},
+		func(base uint64, n int) {
+			for i := 0; i < n; i++ {
+				o.freePage(PFN(base + uint64(i)))
+			}
+		})
+}
+
+// Node returns the node exposing tier t (aware mode), or the single node.
+func (o *OS) Node(t memsim.Tier) *Node {
+	if !o.cfg.Aware {
+		return o.nodes[0]
+	}
+	return o.nodes[t]
+}
+
+// Nodes returns all nodes.
+func (o *OS) Nodes() []*Node { return o.nodes }
+
+// LRUOf returns the LRU of the node exposing tier t.
+func (o *OS) LRUOf(t memsim.Tier) *PageLRU {
+	if !o.cfg.Aware {
+		return o.lrus[0]
+	}
+	return o.lrus[t]
+}
+
+// Aware reports whether the guest is heterogeneity-aware.
+func (o *OS) Aware() bool { return o.cfg.Aware }
+
+// Placement returns the active placement configuration.
+func (o *OS) Placement() *PlacementConfig { return &o.cfg.Placement }
+
+// Epoch returns the current epoch number.
+func (o *OS) Epoch() uint32 { return o.epoch }
+
+// Page returns the metadata of pfn.
+func (o *OS) Page(pfn PFN) *Page { return o.store.Page(pfn) }
+
+// Store exposes the page store (tests, VMM adapters).
+func (o *OS) Store() *PageStore { return o.store }
+
+// NumPFNs reports the guest-physical span size.
+func (o *OS) NumPFNs() uint64 { return o.store.Len() }
+
+// TierOfPage resolves the tier currently backing pfn.
+func (o *OS) TierOfPage(pfn PFN) memsim.Tier {
+	p := o.store.Page(pfn)
+	if p.MFN == memsim.NilMFN {
+		panic(fmt.Sprintf("guestos: tier of unpopulated pfn %d", pfn))
+	}
+	return o.cfg.TierOf(p.MFN)
+}
+
+func (o *OS) nodeIndexOf(pfn PFN) int {
+	for i, n := range o.nodes {
+		if n.Contains(pfn) {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("guestos: pfn %d outside all nodes", pfn))
+}
+
+// populateNode asks the VMM for up to want frames for node idx and
+// inserts them. Returns the number granted.
+func (o *OS) populateNode(idx int, want uint64) uint64 {
+	n := o.nodes[idx]
+	slots := &o.unpopulated[idx]
+	if want > uint64(len(*slots)) {
+		want = uint64(len(*slots))
+	}
+	if want == 0 {
+		return 0
+	}
+	var mfns []memsim.MFN
+	if o.cfg.Aware {
+		mfns = o.cfg.Source.Populate(n.Tier, want)
+	} else {
+		mfns = o.cfg.Source.PopulateAny(want)
+	}
+	for _, mfn := range mfns {
+		pfn := (*slots)[len(*slots)-1]
+		*slots = (*slots)[:len(*slots)-1]
+		pg := o.store.Page(pfn)
+		pg.MFN = mfn
+		n.addPopulated(pfn, 1)
+	}
+	got := uint64(len(mfns))
+	o.ep.BalloonPagesIn += got
+	o.ep.OSTimeNs += float64(got) * o.costs.BalloonPerPageNs
+	return got
+}
+
+// allocPage allocates one frame for kind on behalf of cpu, applying the
+// placement policy. ok=false only when every tier (after on-demand
+// population and reclaim) is exhausted.
+func (o *OS) allocPage(kind PageKind, cpu int) (PFN, bool) {
+	pl := &o.cfg.Placement
+	wantFast := pl.WantsFast(kind)
+	if pl.Random {
+		wantFast = o.rng.Bool(0.5)
+	}
+
+	var order []int // node indices in preference order
+	if !o.cfg.Aware {
+		order = []int{0}
+	} else if wantFast {
+		order = []int{0, 1}
+	} else {
+		order = []int{1, 0}
+	}
+
+	for attempt, idx := range order {
+		pfn, ok := o.allocFromNode(idx, cpu, kind, attempt == 0)
+		if !ok {
+			continue
+		}
+		tier := o.nodes[idx].Tier
+		if !o.cfg.Aware {
+			tier = o.TierOfPage(pfn)
+		}
+		o.Window.Record(kind, wantFast && o.cfg.Aware, tier)
+		o.WindowLife.Record(kind, wantFast && o.cfg.Aware, tier)
+		o.initPage(pfn, kind, wantFast && tier != memsim.FastMem)
+		return pfn, true
+	}
+	return NilPFN, false
+}
+
+// allocFromNode tries per-CPU lists, then buddy (via refill), then
+// on-demand population, then (FastMem, HeteroOS-LRU, primary choice
+// only) demand-based reclaim.
+func (o *OS) allocFromNode(idx, cpu int, kind PageKind, primary bool) (PFN, bool) {
+	n := o.nodes[idx]
+	if pfn, ok := n.PCP.Alloc(cpu, 0); ok {
+		o.ep.OSTimeNs += o.costs.AllocFastPathNs
+		return PFN(pfn), true
+	}
+	// Buddy exhausted (PCP refill failed). Try extending the reservation.
+	pl := &o.cfg.Placement
+	if pl.OnDemand && n.Populated() < n.MaxPages {
+		if o.populateNode(idx, populateBatchPages) > 0 {
+			if pfn, ok := n.PCP.Alloc(cpu, 0); ok {
+				o.ep.OSTimeNs += o.costs.AllocSlowPathNs
+				return PFN(pfn), true
+			}
+		}
+	}
+	if primary && pl.HeteroLRU && o.cfg.Aware && n.Tier == memsim.FastMem {
+		if o.shouldReclaimFor(kind) {
+			o.reclaimNode(idx, reclaimBatchPages)
+			if pfn, ok := n.PCP.Alloc(cpu, 0); ok {
+				o.ep.OSTimeNs += o.costs.AllocSlowPathNs
+				return PFN(pfn), true
+			}
+		}
+	}
+	return NilPFN, false
+}
+
+// shouldReclaimFor implements demand-based prioritisation: FastMem
+// reclaim runs on behalf of kind only when kind's window miss ratio is
+// (one of) the highest — the subsystem with the most unmet FastMem
+// demand wins the contended capacity — and only while admissions are
+// paying off (see reclaimWorthwhile).
+func (o *OS) shouldReclaimFor(kind PageKind) bool {
+	if !o.reclaimWorthwhile() {
+		// Probe occasionally so a workload phase change can re-open the
+		// throttle (the EWMAs only update while reclaim admits pages).
+		if !o.rng.Bool(0.125) {
+			return false
+		}
+	}
+	maxKind, maxRatio := o.Window.MaxMissKind()
+	if maxRatio == 0 {
+		return true // no contention signal yet
+	}
+	return kind == maxKind || o.Window.MissRatio(kind) >= maxRatio*0.75
+}
+
+// reclaimWorthwhile reports whether demoting resident FastMem pages to
+// admit new allocations has been paying off recently: admitted pages
+// must be getting hot, and demoted pages must be staying cold.
+func (o *OS) reclaimWorthwhile() bool {
+	if o.admitSeen >= 32 && o.admitRate < 0.2 {
+		return false
+	}
+	if o.demoteSeen >= 32 && o.demoteRegret > 0.5 {
+		return false
+	}
+	return true
+}
+
+// admissionWindowEpochs is how long after admission a page has to prove
+// itself hot.
+const admissionWindowEpochs = 3
+
+// sampleAdmission records a FastMem admission for later evaluation
+// (every few admissions, to bound bookkeeping).
+func (o *OS) sampleAdmission(pfn PFN) {
+	if len(o.admitRing) > 4096 {
+		return
+	}
+	p := o.store.Page(pfn)
+	o.admitRing = append(o.admitRing, admitSample{pfn: pfn, tag: p.Tag, epoch: o.epoch})
+}
+
+// evaluateAdmissions folds matured admission samples into the EWMAs.
+func (o *OS) evaluateAdmissions() {
+	o.admitRing, o.admitRate, o.admitSeen =
+		foldSamples(o, o.admitRing, o.admitRate, o.admitSeen)
+	o.promoteRing, o.promoteRate, o.promoteSeen =
+		foldSamples(o, o.promoteRing, o.promoteRate, o.promoteSeen)
+	o.demoteRing, o.demoteRegret, o.demoteSeen =
+		foldRegret(o, o.demoteRing, o.demoteRegret, o.demoteSeen)
+}
+
+// foldRegret evaluates matured demotion samples: the move is regretted
+// if the page was touched again after it was demoted.
+func foldRegret(o *OS, ring []admitSample, rate float64, seen int) ([]admitSample, float64, int) {
+	i := 0
+	hits, total := 0, 0
+	for ; i < len(ring); i++ {
+		s := ring[i]
+		if s.epoch+admissionWindowEpochs > o.epoch {
+			break
+		}
+		total++
+		p := o.store.Page(s.pfn)
+		if p.Tag == s.tag && p.Kind != KindFree && p.LastUse > s.epoch {
+			hits++
+		}
+	}
+	ring = ring[i:]
+	if total == 0 {
+		return ring, rate, seen
+	}
+	r := float64(hits) / float64(total)
+	return ring, 0.75*rate + 0.25*r, seen + total
+}
+
+func foldSamples(o *OS, ring []admitSample, rate float64, seen int) ([]admitSample, float64, int) {
+	i := 0
+	hits, total := 0, 0
+	for ; i < len(ring); i++ {
+		s := ring[i]
+		if s.epoch+admissionWindowEpochs > o.epoch {
+			break
+		}
+		total++
+		p := o.store.Page(s.pfn)
+		// The page proved hot if it still holds the same contents, is
+		// still FastMem-resident, and reached the active list.
+		if p.Tag == s.tag && p.Kind != KindFree && p.Has(FlagActive) &&
+			p.MFN != memsim.NilMFN && o.cfg.TierOf(p.MFN) == memsim.FastMem {
+			hits++
+		}
+	}
+	ring = ring[i:]
+	if total == 0 {
+		return ring, rate, seen
+	}
+	r := float64(hits) / float64(total)
+	return ring, 0.5*rate + 0.5*r, seen + total
+}
+
+// PromotionWorthwhile reports whether recent coordinated promotions have
+// been paying off; the coordinated manager throttles its migration
+// budget when they stop (leaving a small probe rate so it can detect
+// phase changes).
+func (o *OS) PromotionWorthwhile() bool {
+	return o.promoteSeen < 32 || o.promoteRate >= 0.3
+}
+
+// PromoteRate exposes the promotion-value EWMA; the coordinated manager
+// scales its migration budget with it (spend more while it pays).
+func (o *OS) PromoteRate() float64 { return o.promoteRate }
+
+// initPage prepares freshly allocated page metadata.
+func (o *OS) initPage(pfn PFN, kind PageKind, spilled bool) {
+	p := o.store.Page(pfn)
+	if p.Kind != KindFree {
+		panic(fmt.Sprintf("guestos: allocating in-use pfn %d (%v)", pfn, p.Kind))
+	}
+	p.Kind = kind
+	p.Flags = 0
+	p.VPN = NilVPN
+	p.File = NilFile
+	p.FileOff = 0
+	p.LastUse = o.epoch
+	p.Heat = 0
+	p.Tag = o.rng.Uint64()
+	if spilled {
+		p.Set(FlagFastPref)
+	}
+	o.Cum.AllocsByKind[kind]++
+	switch kind {
+	case KindAnon, KindPageCache:
+		o.lrus[o.nodeIndexOf(pfn)].Insert(pfn)
+		if o.cfg.Placement.HeteroLRU && o.cfg.Aware &&
+			o.TierOfPage(pfn) == memsim.FastMem && o.Cum.AllocsByKind[kind]%4 == 0 {
+			o.sampleAdmission(pfn)
+		}
+	case KindPageTable, KindDMA:
+		p.Set(FlagPinned)
+	}
+}
+
+// freePage releases one frame back to its node. Mapped pages are
+// unmapped first; cache pages must be released through the page cache
+// (which calls back into here).
+func (o *OS) freePage(pfn PFN) {
+	p := o.store.Page(pfn)
+	if p.Kind == KindFree {
+		panic(fmt.Sprintf("guestos: double free of pfn %d", pfn))
+	}
+	if p.VPN != NilVPN {
+		o.unmapResident(pfn)
+	}
+	idx := o.nodeIndexOf(pfn)
+	if p.Has(FlagOnLRU) {
+		o.lrus[idx].Remove(pfn)
+	}
+	o.Cum.FreesByKind[p.Kind]++
+	p.Kind = KindFree
+	p.Flags = 0
+	p.VPN = NilVPN
+	p.File = NilFile
+	o.ep.OSTimeNs += o.costs.FreeNs
+	o.nodes[idx].PCP.Free(0, 0, uint64(pfn))
+}
+
+// unmapResident clears the virtual mapping of a resident page and fixes
+// the owning VMA's resident count.
+func (o *OS) unmapResident(pfn PFN) {
+	p := o.store.Page(pfn)
+	vpn := p.VPN
+	if vpn == NilVPN {
+		return
+	}
+	o.AS.unmapPage(vpn)
+	if v, ok := o.AS.FindVMA(vpn); ok {
+		v.Resident--
+	}
+	p.VPN = NilVPN
+}
+
+// releaseAnonPage frees an anonymous page during munmap (the mapping is
+// already cleared by the caller).
+func (o *OS) releaseAnonPage(pfn PFN) {
+	p := o.store.Page(pfn)
+	p.VPN = NilVPN
+	o.freePage(pfn)
+}
+
+// fileUnmapped detaches a file-mapped cache page from the address space
+// without evicting it from the cache.
+func (o *OS) fileUnmapped(pfn PFN) {
+	o.store.Page(pfn).VPN = NilVPN
+}
+
+// allocPTPage allocates a page-table page. Page tables are exception-
+// listed from migration; the paper found their placement has negligible
+// (<0.5%) impact, so they follow the same preference as other kernel
+// allocations but are pinned.
+func (o *OS) allocPTPage() PFN {
+	pfn, ok := o.allocPage(KindPageTable, 0)
+	if !ok {
+		panic("guestos: out of memory allocating page table")
+	}
+	return pfn
+}
+
+func (o *OS) freePTPage(pfn PFN) {
+	o.freePage(pfn)
+}
+
+// BalloonTarget implements the VMM-driven balloon (deflate path): the
+// guest must shrink node idx's population to target pages. It releases
+// free frames first, then reclaims LRU pages, then swaps. Returns how
+// many pages were released.
+func (o *OS) BalloonTarget(t memsim.Tier, target uint64) uint64 {
+	idx := 0
+	if o.cfg.Aware {
+		idx = int(t)
+	}
+	n := o.nodes[idx]
+	if n.Populated() <= target {
+		return 0
+	}
+	want := n.Populated() - target
+	var released uint64
+	for released < want {
+		got := o.releaseFreeFrames(idx, want-released)
+		released += got
+		if released >= want {
+			break
+		}
+		// Make more free pages: reclaim from this node's LRU.
+		freed := o.reclaimNode(idx, reclaimBatchPages)
+		if freed == 0 {
+			break // nothing reclaimable; partial balloon
+		}
+	}
+	return released
+}
+
+// releaseFreeFrames hands up to want free frames of node idx back to the
+// VMM.
+func (o *OS) releaseFreeFrames(idx int, want uint64) uint64 {
+	n := o.nodes[idx]
+	pfns := n.reserveFree(want)
+	if len(pfns) == 0 {
+		return 0
+	}
+	mfns := make([]memsim.MFN, len(pfns))
+	for i, pfn := range pfns {
+		pg := o.store.Page(pfn)
+		mfns[i] = pg.MFN
+		pg.MFN = memsim.NilMFN
+		o.unpopulated[idx] = append(o.unpopulated[idx], pfn)
+	}
+	o.cfg.Source.Release(mfns)
+	o.ep.OSTimeNs += float64(len(mfns)) * o.costs.BalloonPerPageNs
+	return uint64(len(mfns))
+}
+
+// CheckInvariants validates cross-subsystem consistency; tests and
+// experiment teardown call it.
+func (o *OS) CheckInvariants() error {
+	for i, n := range o.nodes {
+		if err := n.Buddy.CheckInvariants(); err != nil {
+			return err
+		}
+		if err := o.lrus[i].CheckInvariants(); err != nil {
+			return err
+		}
+		if n.Populated() > n.MaxPages {
+			return fmt.Errorf("guestos: node %d over-populated", i)
+		}
+	}
+	if err := o.AS.CheckInvariants(); err != nil {
+		return err
+	}
+	if err := o.PC.CheckInvariants(); err != nil {
+		return err
+	}
+	for _, c := range o.Slabs {
+		if err := c.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	// Every populated, non-free page has a backing frame; every free
+	// page is either unpopulated or in an allocator.
+	var used, lru uint64
+	for pfn := PFN(0); pfn < PFN(o.store.Len()); pfn++ {
+		p := o.store.Page(pfn)
+		if p.Kind != KindFree && p.MFN == memsim.NilMFN {
+			return fmt.Errorf("guestos: in-use pfn %d has no backing frame", pfn)
+		}
+		if p.Kind != KindFree {
+			used++
+		}
+		if p.Has(FlagOnLRU) {
+			lru++
+		}
+	}
+	var usedNodes, lruNodes uint64
+	for i, n := range o.nodes {
+		usedNodes += n.UsedPages()
+		lruNodes += o.lrus[i].Count()
+	}
+	if used != usedNodes {
+		return fmt.Errorf("guestos: %d in-use pages vs %d per-node used", used, usedNodes)
+	}
+	if lru != lruNodes {
+		return fmt.Errorf("guestos: %d LRU-flagged pages vs %d on lists", lru, lruNodes)
+	}
+	return nil
+}
+
+// SlabChurnPageEquivalents converts cumulative slab-object churn into
+// page equivalents per kind. Slab caches recycle pages internally, so
+// raw page-allocation counts hide the enormous buffer churn that
+// Figure 4's census reports for network- and storage-intensive
+// applications; object-volume over page size recovers it.
+func (o *OS) SlabChurnPageEquivalents() (netbuf, slab float64) {
+	for name, c := range o.Slabs {
+		allocs, _, _, _ := c.Stats()
+		pages := float64(allocs) * float64(c.ObjSize()) / float64(memsim.PageSize)
+		if name == SlabSkbuff {
+			netbuf += pages
+		} else {
+			slab += pages
+		}
+	}
+	return netbuf, slab
+}
+
+// PageCensus counts current pages by kind (Figure 4's distribution).
+func (o *OS) PageCensus() [NumKinds]uint64 {
+	var out [NumKinds]uint64
+	for pfn := PFN(0); pfn < PFN(o.store.Len()); pfn++ {
+		out[o.store.Page(pfn).Kind]++
+	}
+	return out
+}
+
+// ThrottleState exposes the reclaim-economics telemetry (debugging and
+// the ablation benchmarks).
+func (o *OS) ThrottleState() (admitRate float64, admitSeen int, regret float64, regretSeen int, promoteRate float64) {
+	return o.admitRate, o.admitSeen, o.demoteRegret, o.demoteSeen, o.promoteRate
+}

@@ -1,0 +1,188 @@
+package percpu
+
+import (
+	"testing"
+)
+
+// backing is a trivial per-dimension free store for tests.
+type backing struct {
+	free [][]uint64
+}
+
+func newBacking(dims int, perDim uint64) *backing {
+	b := &backing{free: make([][]uint64, dims)}
+	var next uint64
+	for d := range b.free {
+		for i := uint64(0); i < perDim; i++ {
+			b.free[d] = append(b.free[d], next)
+			next++
+		}
+	}
+	return b
+}
+
+func (b *backing) refill(dim, n int) []uint64 {
+	if n > len(b.free[dim]) {
+		n = len(b.free[dim])
+	}
+	out := b.free[dim][len(b.free[dim])-n:]
+	b.free[dim] = b.free[dim][:len(b.free[dim])-n]
+	return append([]uint64(nil), out...)
+}
+
+func (b *backing) drain(dim int, pfns []uint64) {
+	b.free[dim] = append(b.free[dim], pfns...)
+}
+
+func (b *backing) count(dim int) int { return len(b.free[dim]) }
+
+func TestAllocRefillsInBatches(t *testing.T) {
+	b := newBacking(2, 100)
+	l := New(4, 2, 8, 32, b.refill, b.drain)
+	pfn, ok := l.Alloc(0, 0)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	_ = pfn
+	// One refill of 8 frames: 7 remain cached, 92 in backing.
+	if got := l.Cached(0); got != 7 {
+		t.Fatalf("cached = %d, want 7", got)
+	}
+	if b.count(0) != 92 {
+		t.Fatalf("backing = %d, want 92", b.count(0))
+	}
+	// Next 7 allocs are cache hits.
+	for i := 0; i < 7; i++ {
+		if _, ok := l.Alloc(0, 0); !ok {
+			t.Fatal("alloc failed")
+		}
+	}
+	hits, _, refills, _ := l.Stats()
+	if hits != 7 || refills != 1 {
+		t.Fatalf("hits=%d refills=%d", hits, refills)
+	}
+}
+
+func TestDimensionsIndependent(t *testing.T) {
+	b := newBacking(2, 16)
+	l := New(1, 2, 4, 16, b.refill, b.drain)
+	p0, _ := l.Alloc(0, 0)
+	p1, _ := l.Alloc(0, 1)
+	// Dimension 0 frames are [0,16), dimension 1 frames are [16,32).
+	if p0 >= 16 || p1 < 16 {
+		t.Fatalf("cross-dimension leak: p0=%d p1=%d", p0, p1)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	b := newBacking(1, 3)
+	l := New(1, 1, 8, 16, b.refill, b.drain)
+	for i := 0; i < 3; i++ {
+		if _, ok := l.Alloc(0, 0); !ok {
+			t.Fatalf("alloc %d failed early", i)
+		}
+	}
+	if _, ok := l.Alloc(0, 0); ok {
+		t.Fatal("alloc succeeded after exhaustion")
+	}
+	_, misses, _, _ := l.Stats()
+	if misses != 1 {
+		t.Fatalf("misses = %d", misses)
+	}
+}
+
+func TestFreeDrainsAboveWatermark(t *testing.T) {
+	b := newBacking(1, 0)
+	l := New(1, 1, 4, 8, b.refill, b.drain)
+	for i := uint64(0); i < 9; i++ {
+		l.Free(0, 0, 100+i)
+	}
+	// Crossing high=8 drains one batch of 4.
+	if got := l.Cached(0); got != 5 {
+		t.Fatalf("cached = %d, want 5", got)
+	}
+	if b.count(0) != 4 {
+		t.Fatalf("backing = %d, want 4", b.count(0))
+	}
+}
+
+func TestFlush(t *testing.T) {
+	b := newBacking(2, 20)
+	l := New(2, 2, 4, 16, b.refill, b.drain)
+	for cpu := 0; cpu < 2; cpu++ {
+		for d := 0; d < 2; d++ {
+			if _, ok := l.Alloc(cpu, d); !ok {
+				t.Fatal("alloc failed")
+			}
+		}
+	}
+	l.Flush()
+	if l.Cached(0) != 0 || l.Cached(1) != 0 {
+		t.Fatal("flush left cached frames")
+	}
+	// 4 frames are held by callers; the rest returned.
+	if b.count(0)+b.count(1) != 36 {
+		t.Fatalf("backing total = %d, want 36", b.count(0)+b.count(1))
+	}
+}
+
+func TestFlushDim(t *testing.T) {
+	b := newBacking(2, 20)
+	l := New(1, 2, 4, 16, b.refill, b.drain)
+	l.Alloc(0, 0)
+	l.Alloc(0, 1)
+	l.FlushDim(0)
+	if l.Cached(0) != 0 {
+		t.Fatal("dim 0 not flushed")
+	}
+	if l.Cached(1) == 0 {
+		t.Fatal("dim 1 should be untouched")
+	}
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	b := newBacking(1, 64)
+	l := New(2, 1, 8, 24, b.refill, b.drain)
+	var held []uint64
+	for i := 0; i < 40; i++ {
+		p, ok := l.Alloc(i%2, 0)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		held = append(held, p)
+	}
+	seen := map[uint64]bool{}
+	for _, p := range held {
+		if seen[p] {
+			t.Fatalf("frame %d allocated twice", p)
+		}
+		seen[p] = true
+	}
+	for i, p := range held {
+		l.Free(i%2, 0, p)
+	}
+	l.Flush()
+	if b.count(0) != 64 {
+		t.Fatalf("frames lost: backing has %d, want 64", b.count(0))
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	b := newBacking(1, 1)
+	bad := []func(){
+		func() { New(0, 1, 1, 1, b.refill, b.drain) },
+		func() { New(1, 0, 1, 1, b.refill, b.drain) },
+		func() { New(1, 1, 0, 1, b.refill, b.drain) },
+		func() { New(1, 1, 8, 4, b.refill, b.drain) },
+	}
+	for i, f := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,422 @@
+package guestos
+
+import (
+	"fmt"
+
+	"heteroos/internal/memsim"
+)
+
+// reclaimNode frees up to target pages from node idx by walking the
+// inactive LRU tail:
+//
+//   - referenced pages get a second chance (rotate),
+//   - clean cache pages are dropped, dirty ones written back first,
+//   - anonymous pages are demoted to SlowMem when reclaiming FastMem
+//     (HeteroOS-LRU's eviction "to a slower memory"), or swapped out when
+//     no SlowMem is available (or when reclaiming SlowMem itself).
+//
+// Returns the number of frames actually freed in this node.
+// demotionRateCap bounds demotions per epoch: page movement is priced
+// work (Table 6), and unbounded reclaim bursts can cost more than the
+// placement they buy.
+const demotionRateCap = 128
+
+func (o *OS) reclaimNode(idx int, target uint64) uint64 {
+	// Cheap evictions first: dropping clean, idle I/O cache pages costs
+	// nothing compared to migrating anonymous pages (Figure 12 shows the
+	// paper's HeteroOS-LRU moves an order of magnitude fewer pages than
+	// the VMM-exclusive baseline — the bulk of its FastMem availability
+	// comes from released I/O pages).
+	freed := o.reclaimPass(idx, target, true)
+	if freed < target {
+		freed += o.reclaimPass(idx, target-freed, false)
+	}
+	return freed
+}
+
+// reclaimPass walks the inactive LRU once. When cacheOnly is set, only
+// page-cache pages are eligible (anonymous pages are rotated past).
+func (o *OS) reclaimPass(idx int, target uint64, cacheOnly bool) uint64 {
+	n := o.nodes[idx]
+	l := o.lrus[idx]
+	var freed uint64
+	// Refill the inactive list if it ran dry.
+	if l.InactiveCount() == 0 {
+		l.Balance(int(2 * target))
+	}
+	attempts := l.InactiveCount() + l.ActiveCount()
+walk:
+	for freed < target && attempts > 0 {
+		attempts--
+		pfn := l.TailInactive()
+		if pfn == NilPFN {
+			if cacheOnly {
+				break
+			}
+			if demoted := l.Balance(int(2 * target)); len(demoted) == 0 {
+				break
+			}
+			continue
+		}
+		p := o.store.Page(pfn)
+		if p.Has(FlagAccessed) {
+			l.RotateInactive(pfn)
+			continue
+		}
+		// Recency guard: a page used within the last two epochs is part
+		// of the active working set even if a rotation cleared its
+		// referenced bit; evicting it would thrash. Spilling the new
+		// allocation to SlowMem (a FastMem allocation miss) is cheaper
+		// than demoting a hot page. When FastMem is far smaller than the
+		// working set everything is recent and the guard would starve
+		// reclaim entirely, so it relaxes under heavy allocation misses.
+		guard := uint32(2)
+		if o.Window.OverallMissRatio() > 0.5 {
+			guard = 0
+		}
+		if p.LastUse+guard >= o.epoch && o.epoch >= 2 {
+			l.RotateInactive(pfn)
+			continue
+		}
+		// Coordination guard: pages the tracker knows are decisively hot
+		// (including freshly promoted ones) are not demoted — reclaim
+		// undoing the migrator's work would waste both moves. The gray
+		// zone below stays reclaimable so allocation placement never
+		// starves. (ScanHeat is zero outside coordinated mode.)
+		if p.ScanHeat >= 6 {
+			l.RotateInactive(pfn)
+			continue
+		}
+		switch p.Kind {
+		case KindPageCache:
+			if o.evictCachePage(pfn) {
+				freed++
+			}
+		case KindAnon:
+			if cacheOnly {
+				l.RotateInactive(pfn)
+				continue
+			}
+			if n.Tier == memsim.FastMem && o.cfg.Aware {
+				if o.ep.Demotions >= demotionRateCap {
+					break walk // budget exhausted this epoch; allocations spill
+				}
+				if o.demoteAnonPage(pfn) {
+					freed++
+					continue
+				}
+			}
+			if o.swapOutPage(pfn) {
+				freed++
+			}
+		default:
+			// Slab/netbuf/pagetable pages are not on the LRU; seeing one
+			// here is a bug.
+			panic(fmt.Sprintf("guestos: kind %v page %d on LRU", p.Kind, pfn))
+		}
+	}
+	return freed
+}
+
+// evictCachePage drops a page-cache page, writing it back first when
+// dirty. Returns false if the page is pinned.
+func (o *OS) evictCachePage(pfn PFN) bool {
+	p := o.store.Page(pfn)
+	if p.Has(FlagPinned) {
+		return false
+	}
+	if !o.PC.Owns(uint64(pfn)) {
+		panic(fmt.Sprintf("guestos: cache page %d unknown to page cache", pfn))
+	}
+	if o.PC.Evict(uint64(pfn)) {
+		// Dirty page: synchronous writeback before reuse.
+		o.ep.DiskWritePages++
+		o.ep.OSTimeNs += o.costs.DiskWritePageNs
+	}
+	o.ep.CacheEvictions++
+	return true
+}
+
+// demoteAnonPage migrates an anonymous page from FastMem to SlowMem
+// (allocating a SlowMem frame, copying, remapping). Returns false when
+// SlowMem has no free frame.
+func (o *OS) demoteAnonPage(pfn PFN) bool {
+	return o.movePageAcrossNodes(pfn, memsim.SlowMem, false)
+}
+
+// PromotePage migrates a page into FastMem, used by the coordinated
+// manager when the VMM reports it hot. The guest performs the OS-side
+// validity checks the paper assigns to guest-controlled migration
+// (Section 4.1): the page must be movable, still in use, mapped (for
+// anon), and not a dirty or short-lived I/O page.
+func (o *OS) PromotePage(pfn PFN) bool {
+	p := o.store.Page(pfn)
+	switch {
+	case p.Kind == KindFree,
+		!p.Kind.Movable(),
+		p.Has(FlagPinned),
+		p.Kind == KindAnon && p.VPN == NilVPN,
+		p.Kind == KindPageCache && o.PC.Dirty(uint64(pfn)),
+		p.Kind == KindNetBuf || p.Kind == KindSlab: // slabs are not remappable per page
+		o.ep.MigrationsSkipped++
+		return false
+	}
+	if o.TierOfPage(pfn) == memsim.FastMem {
+		o.ep.MigrationsSkipped++
+		return false
+	}
+	return o.movePageAcrossNodes(pfn, memsim.FastMem, true)
+}
+
+// DemotePage migrates a page out of FastMem to SlowMem, used by the
+// coordinated manager to displace cold pages when FastMem is full. The
+// same validity checks as PromotePage apply; clean page-cache pages are
+// moved (not dropped — they may still be re-read).
+func (o *OS) DemotePage(pfn PFN) bool {
+	p := o.store.Page(pfn)
+	switch {
+	case p.Kind == KindFree,
+		!p.Kind.Movable(),
+		p.Has(FlagPinned),
+		p.Kind == KindAnon && p.VPN == NilVPN,
+		p.Kind == KindPageCache && o.PC.Dirty(uint64(pfn)),
+		p.Kind == KindNetBuf || p.Kind == KindSlab:
+		o.ep.MigrationsSkipped++
+		return false
+	}
+	// OS-side knowledge the VMM lacks: the page may look cold to the
+	// tracker (newly mapped, not yet scanned) while the guest knows it
+	// was just used. Refuse to demote recently-used pages.
+	if p.LastUse+2 >= o.epoch && o.epoch >= 2 {
+		o.ep.MigrationsSkipped++
+		return false
+	}
+	if o.TierOfPage(pfn) == memsim.SlowMem {
+		o.ep.MigrationsSkipped++
+		return false
+	}
+	return o.movePageAcrossNodes(pfn, memsim.SlowMem, false)
+}
+
+// DemotePageForSwap demotes a page the tracker has judged worth
+// displacing for a decisively hotter (or more store-intensive) one. It
+// keeps every validity check but skips the recency guard: the caller's
+// score margin, not staleness, justified the swap.
+func (o *OS) DemotePageForSwap(pfn PFN) bool {
+	p := o.store.Page(pfn)
+	switch {
+	case p.Kind == KindFree,
+		!p.Kind.Movable(),
+		p.Has(FlagPinned),
+		p.Kind == KindAnon && p.VPN == NilVPN,
+		p.Kind == KindPageCache && o.PC.Dirty(uint64(pfn)),
+		p.Kind == KindNetBuf || p.Kind == KindSlab:
+		o.ep.MigrationsSkipped++
+		return false
+	}
+	if o.TierOfPage(pfn) == memsim.SlowMem {
+		o.ep.MigrationsSkipped++
+		return false
+	}
+	return o.movePageAcrossNodes(pfn, memsim.SlowMem, false)
+}
+
+// movePageAcrossNodes implements aware-mode migration: allocate a frame
+// on the target node (allocator paths only — reclaim must not recurse),
+// copy contents, transfer identity (page table or page cache), free the
+// source. Charges the per-page walk + copy costs of the default batch.
+func (o *OS) movePageAcrossNodes(pfn PFN, target memsim.Tier, promotion bool) bool {
+	if !o.cfg.Aware {
+		panic("guestos: node migration in transparent mode")
+	}
+	srcIdx := o.nodeIndexOf(pfn)
+	dstIdx := int(target)
+	if srcIdx == dstIdx {
+		return false
+	}
+	dst := o.nodes[dstIdx]
+	raw, ok := dst.PCP.Alloc(0, 0)
+	if !ok {
+		if o.cfg.Placement.OnDemand && o.populateNode(dstIdx, populateBatchPages) > 0 {
+			raw, ok = dst.PCP.Alloc(0, 0)
+		}
+		if !ok {
+			return false
+		}
+	}
+	newPfn := PFN(raw)
+	src := o.store.Page(pfn)
+	dstPg := o.store.Page(newPfn)
+	if dstPg.Kind != KindFree {
+		panic(fmt.Sprintf("guestos: migration target %d busy", newPfn))
+	}
+
+	// Copy metadata + contents.
+	dstPg.Kind = src.Kind
+	dstPg.Flags = src.Flags &^ (FlagOnLRU | FlagActive)
+	dstPg.VPN = src.VPN
+	dstPg.File = src.File
+	dstPg.FileOff = src.FileOff
+	dstPg.LastUse = src.LastUse
+	dstPg.Heat = src.Heat
+	// The scanner's hotness history is biased at migration time:
+	// promoted pages arrive presumed-hot and demoted pages presumed-cold,
+	// so neither becomes an immediate candidate to move back. Fresh scan
+	// evidence then takes over.
+	if promotion {
+		dstPg.ScanHeat = 8
+	} else {
+		dstPg.ScanHeat = 0
+	}
+	dstPg.ScanWriteHeat = src.ScanWriteHeat
+	dstPg.Tag = src.Tag
+	o.Cum.AllocsByKind[dstPg.Kind]++
+
+	// Transfer identity.
+	switch src.Kind {
+	case KindAnon:
+		if src.VPN != NilVPN {
+			o.AS.unmapPage(src.VPN)
+			o.AS.mapPage(src.VPN, newPfn)
+		}
+	case KindPageCache:
+		o.PC.Rekey(uint64(pfn), uint64(newPfn))
+		if src.VPN != NilVPN {
+			o.AS.unmapPage(src.VPN)
+			o.AS.mapPage(src.VPN, newPfn)
+		}
+	default:
+		panic(fmt.Sprintf("guestos: migrating unsupported kind %v", src.Kind))
+	}
+
+	// LRU transfer: promotions arrive hot (active), demotions cold.
+	wasActive := src.Has(FlagActive)
+	if src.Has(FlagOnLRU) {
+		o.lrus[srcIdx].Remove(pfn)
+	}
+	o.lrus[dstIdx].Insert(newPfn)
+	if promotion || wasActive {
+		// Activate via double reference.
+		o.lrus[dstIdx].MarkAccessed(newPfn)
+		o.lrus[dstIdx].MarkAccessed(newPfn)
+	}
+
+	// Free the source frame (identity already moved; clear VPN so
+	// freePage does not try to unmap again).
+	src.VPN = NilVPN
+	src.Kind = dstPg.Kind // keep census sane through the free below
+	o.freePage(pfn)
+
+	o.ep.OSTimeNs += o.costs.MigratePageWalkNs + o.costs.MigratePageCopyNs
+	o.ep.OSTimeNs += o.costs.TLBFlushNs / migrationTLBBatch
+	if promotion {
+		o.ep.Promotions++
+		o.promoteRing = append(o.promoteRing, admitSample{
+			pfn: newPfn, tag: dstPg.Tag, epoch: o.epoch})
+	} else {
+		o.ep.Demotions++
+		if len(o.demoteRing) < 4096 {
+			o.demoteRing = append(o.demoteRing, admitSample{
+				pfn: newPfn, tag: dstPg.Tag, epoch: o.epoch})
+		}
+	}
+	return true
+}
+
+// migrationTLBBatch amortises one TLB shootdown over a batch of page
+// moves (migrations are batched in practice).
+const migrationTLBBatch = 64
+
+// swapOutPage writes an anonymous page to swap and frees its frame.
+func (o *OS) swapOutPage(pfn PFN) bool {
+	p := o.store.Page(pfn)
+	if p.Kind != KindAnon || p.Has(FlagPinned) {
+		return false
+	}
+	vpn := p.VPN
+	if vpn == NilVPN {
+		// Unmapped anon page (mid-teardown): just free it.
+		o.freePage(pfn)
+		return true
+	}
+	o.swap.add(vpn, p.Tag)
+	o.AS.markSwapped(vpn)
+	if v, ok := o.AS.FindVMA(vpn); ok {
+		v.Resident--
+	}
+	p.VPN = NilVPN
+	o.freePage(pfn)
+	o.ep.SwapOuts++
+	o.ep.OSTimeNs += o.costs.SwapPageNs
+	return true
+}
+
+// EagerIOEvictions is the per-epoch cap on HeteroOS-LRU's eager eviction
+// of released I/O pages from FastMem.
+const EagerIOEvictions = 4096
+
+// eagerEvictIOPages implements HeteroOS-LRU's rule that "I/O page and
+// buffer cache pages [that] are released after an I/O request are marked
+// inactive and immediately evicted from FastMem": cold (unreferenced,
+// not recently used) cache pages at the FastMem inactive tail are
+// dropped without waiting for general memory pressure.
+func (o *OS) eagerEvictIOPages() {
+	if !o.cfg.Aware {
+		return
+	}
+	// Pressure gate: with ample free FastMem there is nothing to gain
+	// from evicting I/O pages that might be re-read. The regret throttle
+	// also applies — demoting pages that come straight back is waste.
+	fast := o.Node(memsim.FastMem)
+	if fast.FreePages() >= fast.HighWatermark || !o.reclaimWorthwhile() {
+		return
+	}
+	l := o.lrus[memsim.FastMem]
+	evicted := 0
+	// Bounded walk from the inactive tail.
+	scan := l.InactiveCount()
+	for scan > 0 && evicted < EagerIOEvictions {
+		scan--
+		pfn := l.TailInactive()
+		if pfn == NilPFN {
+			break
+		}
+		p := o.store.Page(pfn)
+		if p.Kind != KindPageCache || p.Has(FlagAccessed) || p.LastUse+3 >= o.epoch {
+			// Not an idle I/O page; rotate so the walk can continue past it.
+			l.RotateInactive(pfn)
+			continue
+		}
+		// Demote to SlowMem rather than dropping: a SlowMem cache hit is
+		// three orders of magnitude cheaper than a disk refault, and I/O
+		// buffers "can be demoted to large-but-slowest memory"
+		// (Section 4.3). Dirty or unmovable pages, or a full SlowMem,
+		// fall back to eviction.
+		if !p.Has(FlagPinned) && !o.PC.Dirty(uint64(pfn)) &&
+			o.Node(memsim.SlowMem).FreePages() > 0 && o.demoteAnonOrCachePage(pfn) {
+			evicted++
+			continue
+		}
+		o.evictCachePage(pfn)
+		evicted++
+	}
+}
+
+// demoteAnonOrCachePage moves a movable page from FastMem to SlowMem.
+func (o *OS) demoteAnonOrCachePage(pfn PFN) bool {
+	return o.movePageAcrossNodes(pfn, memsim.SlowMem, false)
+}
+
+// maintainWatermarks runs HeteroOS-LRU's per-tier threshold reclaim:
+// background reclaim starts once free pages fall under the midpoint of
+// the watermark band and restores the high mark, so the free buffer the
+// coordinated manager promotes into is actually maintained.
+func (o *OS) maintainWatermarks() {
+	if !o.cfg.Aware {
+		return
+	}
+	fast := o.Node(memsim.FastMem)
+	if fast.FreePages() < (fast.LowWatermark+fast.HighWatermark)/2 {
+		o.reclaimNode(int(memsim.FastMem), fast.ReclaimTarget())
+	}
+}

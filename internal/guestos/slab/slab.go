@@ -1,0 +1,243 @@
+// Package slab implements the kernel object allocator (kmem caches) the
+// guest OS uses for network buffers (skbuff), filesystem metadata,
+// dentries, inodes, and block-layer structures. Section 3.2 of the paper
+// shows that prioritising these slab pages into FastMem accelerates
+// storage- and network-intensive applications, so the slab layer must be
+// real enough that its page demand is visible to the placement policy.
+//
+// The design follows Linux's SLAB: a cache holds slabs of one or more
+// contiguous pages, each divided into fixed-size objects; slabs move
+// between full, partial, and empty lists; empty slabs beyond a retention
+// threshold are returned to the page allocator.
+package slab
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoMemory is returned when the page allocator cannot back a new slab.
+var ErrNoMemory = errors.New("slab: page allocator exhausted")
+
+// GetPages obtains n contiguous frames from the page allocator and
+// reports the base frame, or ok=false on exhaustion.
+type GetPages func(n int) (base uint64, ok bool)
+
+// PutPages returns a slab's frames to the page allocator.
+type PutPages func(base uint64, n int)
+
+// ObjRef identifies an allocated object: the slab's base frame plus the
+// object index within the slab.
+type ObjRef struct {
+	SlabBase uint64
+	Index    int
+}
+
+// PageSize is the frame size used to compute objects-per-slab.
+const PageSize = 4096
+
+// maxEmptySlabs is how many empty slabs a cache retains before returning
+// pages to the page allocator (working-set hysteresis, like Linux's
+// per-cache free limits).
+const maxEmptySlabs = 2
+
+type slabState struct {
+	base     uint64
+	free     []int // free object indices (stack)
+	inUse    int
+	capacity int
+}
+
+// Cache is one kmem cache ("skbuff_head_cache", "dentry", ...).
+type Cache struct {
+	name         string
+	objSize      int
+	pagesPerSlab int
+	objsPerSlab  int
+	get          GetPages
+	put          PutPages
+
+	slabs   map[uint64]*slabState // by base frame
+	partial []uint64              // bases with free objects (may contain stale entries)
+	empties int
+
+	allocs, frees, slabAllocs, slabFrees uint64
+}
+
+// New builds a cache of objSize-byte objects in slabs of pagesPerSlab
+// contiguous frames.
+func New(name string, objSize, pagesPerSlab int, get GetPages, put PutPages) *Cache {
+	if objSize <= 0 || objSize > pagesPerSlab*PageSize {
+		panic(fmt.Sprintf("slab %s: invalid object size %d", name, objSize))
+	}
+	if pagesPerSlab <= 0 {
+		panic(fmt.Sprintf("slab %s: invalid pagesPerSlab %d", name, pagesPerSlab))
+	}
+	return &Cache{
+		name:         name,
+		objSize:      objSize,
+		pagesPerSlab: pagesPerSlab,
+		objsPerSlab:  pagesPerSlab * PageSize / objSize,
+		get:          get,
+		put:          put,
+		slabs:        make(map[uint64]*slabState),
+	}
+}
+
+// Name returns the cache name.
+func (c *Cache) Name() string { return c.name }
+
+// ObjSize returns the object size in bytes.
+func (c *Cache) ObjSize() int { return c.objSize }
+
+// ObjsPerSlab returns the number of objects each slab holds.
+func (c *Cache) ObjsPerSlab() int { return c.objsPerSlab }
+
+// PagesPerSlab returns the number of frames per slab.
+func (c *Cache) PagesPerSlab() int { return c.pagesPerSlab }
+
+func (c *Cache) newSlab() (*slabState, error) {
+	base, ok := c.get(c.pagesPerSlab)
+	if !ok {
+		return nil, fmt.Errorf("%w: cache %s", ErrNoMemory, c.name)
+	}
+	s := &slabState{base: base, capacity: c.objsPerSlab}
+	s.free = make([]int, c.objsPerSlab)
+	for i := range s.free {
+		s.free[i] = c.objsPerSlab - 1 - i // pop in ascending index order
+	}
+	c.slabs[base] = s
+	c.slabAllocs++
+	return s, nil
+}
+
+// Alloc allocates one object. It prefers partially-full slabs (dense
+// packing), then creates a new slab from the page allocator.
+func (c *Cache) Alloc() (ObjRef, error) {
+	var s *slabState
+	fresh := false
+	for len(c.partial) > 0 {
+		base := c.partial[len(c.partial)-1]
+		cand, ok := c.slabs[base]
+		if !ok || len(cand.free) == 0 {
+			c.partial = c.partial[:len(c.partial)-1] // stale
+			continue
+		}
+		s = cand
+		break
+	}
+	if s == nil {
+		var err error
+		s, err = c.newSlab()
+		if err != nil {
+			return ObjRef{}, err
+		}
+		c.partial = append(c.partial, s.base)
+		fresh = true
+	}
+	if s.inUse == 0 && !fresh {
+		// Reusing a retained empty slab.
+		c.empties--
+	}
+	idx := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	s.inUse++
+	if len(s.free) == 0 {
+		// Slab became full; drop it from the partial stack if it is the
+		// top (otherwise lazily skipped later).
+		if n := len(c.partial); n > 0 && c.partial[n-1] == s.base {
+			c.partial = c.partial[:n-1]
+		}
+	}
+	c.allocs++
+	return ObjRef{SlabBase: s.base, Index: idx}, nil
+}
+
+// Free releases one object. When a slab becomes empty and the cache
+// already retains maxEmptySlabs empty slabs, the slab's pages go back to
+// the page allocator.
+func (c *Cache) Free(ref ObjRef) {
+	s, ok := c.slabs[ref.SlabBase]
+	if !ok {
+		panic(fmt.Sprintf("slab %s: free of object in unknown slab %d", c.name, ref.SlabBase))
+	}
+	if ref.Index < 0 || ref.Index >= s.capacity {
+		panic(fmt.Sprintf("slab %s: object index %d out of range", c.name, ref.Index))
+	}
+	for _, f := range s.free {
+		if f == ref.Index {
+			panic(fmt.Sprintf("slab %s: double free of object %d in slab %d", c.name, ref.Index, s.base))
+		}
+	}
+	wasFull := len(s.free) == 0
+	s.free = append(s.free, ref.Index)
+	s.inUse--
+	c.frees++
+	if s.inUse == 0 {
+		if c.empties >= maxEmptySlabs {
+			delete(c.slabs, s.base)
+			c.put(s.base, c.pagesPerSlab)
+			c.slabFrees++
+			return
+		}
+		c.empties++
+	}
+	if wasFull {
+		c.partial = append(c.partial, s.base)
+	}
+}
+
+// Pages reports the frames currently held by the cache.
+func (c *Cache) Pages() int { return len(c.slabs) * c.pagesPerSlab }
+
+// InUse reports the number of live objects.
+func (c *Cache) InUse() int {
+	n := 0
+	for _, s := range c.slabs {
+		n += s.inUse
+	}
+	return n
+}
+
+// Stats reports object allocs/frees and slab-level page churn.
+func (c *Cache) Stats() (allocs, frees, slabAllocs, slabFrees uint64) {
+	return c.allocs, c.frees, c.slabAllocs, c.slabFrees
+}
+
+// Bases returns the base frame of every live slab; the placement layer
+// uses it to attribute slab pages to tiers.
+func (c *Cache) Bases() []uint64 {
+	out := make([]uint64, 0, len(c.slabs))
+	for b := range c.slabs {
+		out = append(out, b)
+	}
+	return out
+}
+
+// CheckInvariants validates per-slab accounting.
+func (c *Cache) CheckInvariants() error {
+	empties := 0
+	for base, s := range c.slabs {
+		if s.base != base {
+			return fmt.Errorf("slab %s: key %d != base %d", c.name, base, s.base)
+		}
+		if s.inUse+len(s.free) != s.capacity {
+			return fmt.Errorf("slab %s: slab %d inUse %d + free %d != cap %d",
+				c.name, base, s.inUse, len(s.free), s.capacity)
+		}
+		seen := map[int]bool{}
+		for _, f := range s.free {
+			if f < 0 || f >= s.capacity || seen[f] {
+				return fmt.Errorf("slab %s: bad free index %d in slab %d", c.name, f, base)
+			}
+			seen[f] = true
+		}
+		if s.inUse == 0 {
+			empties++
+		}
+	}
+	if empties != c.empties {
+		return fmt.Errorf("slab %s: empty count %d != tracked %d", c.name, empties, c.empties)
+	}
+	return nil
+}

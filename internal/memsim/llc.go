@@ -1,0 +1,73 @@
+package memsim
+
+import "math"
+
+// LLC models the last-level cache as a miss-ratio filter. The simulator
+// does not replay individual cache lines; instead each workload declares
+// its memory intensity as MPKI measured on the paper's reference platform
+// (Table 4, 16 MB LLC), and the LLC model rescales that MPKI when the
+// cache size or the working set changes.
+//
+// The rescaling uses a power-law miss curve, the standard analytic fit
+// for LRU caches over skewed reference streams: the miss ratio of a
+// working set W on a cache C falls as (C/W)^Theta. ColdFraction bounds
+// the reducible portion from below — compulsory (first-touch, streaming)
+// misses do not disappear no matter how large the cache is.
+type LLC struct {
+	SizeBytes int64
+	// ColdFraction is the fraction of misses that are compulsory.
+	ColdFraction float64
+	// Theta is the power-law exponent of the miss curve. Values near 0.3
+	// approximate the square-root rule observed for datacenter workloads.
+	Theta float64
+}
+
+// ReferenceLLCBytes is the LLC size of the platform Table 4's MPKI values
+// were measured on (16 MB Xeon X5560).
+const ReferenceLLCBytes = 16 << 20
+
+// EmulatorLLCBytes is the LLC size of the Intel NVM emulator platform
+// used for Figure 2 (48 MB Xeon E5-4620 v2).
+const EmulatorLLCBytes = 48 << 20
+
+// DefaultLLC returns the reference-platform cache model.
+func DefaultLLC() LLC {
+	return LLC{SizeBytes: ReferenceLLCBytes, ColdFraction: 0.15, Theta: 0.3}
+}
+
+// EmulatorLLC returns the Intel-emulator-platform cache model.
+func EmulatorLLC() LLC {
+	l := DefaultLLC()
+	l.SizeBytes = EmulatorLLCBytes
+	return l
+}
+
+// missFactor is the relative miss ratio of working set wssBytes on a
+// cache of sizeBytes, in [ColdFraction, 1].
+func (c LLC) missFactor(wssBytes int64) float64 {
+	if wssBytes <= 0 {
+		return c.ColdFraction
+	}
+	if c.SizeBytes >= wssBytes {
+		return c.ColdFraction
+	}
+	ratio := float64(c.SizeBytes) / float64(wssBytes)
+	hit := math.Pow(ratio, c.Theta)
+	if hit > 1 {
+		hit = 1
+	}
+	return c.ColdFraction + (1-c.ColdFraction)*(1-hit)
+}
+
+// MPKIScale converts a workload's reference MPKI (measured with working
+// set wssBytes on the reference LLC) into the effective MPKI on this
+// cache. Larger caches reduce MPKI; working sets below the cache size
+// collapse to compulsory misses only.
+func (c LLC) MPKIScale(wssBytes int64) float64 {
+	ref := LLC{SizeBytes: ReferenceLLCBytes, ColdFraction: c.ColdFraction, Theta: c.Theta}
+	denom := ref.missFactor(wssBytes)
+	if denom == 0 {
+		return 1
+	}
+	return c.missFactor(wssBytes) / denom
+}

@@ -1,0 +1,109 @@
+package memsim
+
+import "fmt"
+
+// Throttle is one (L:x, B:y) emulation point: latency increased by factor
+// L and bandwidth reduced by factor B relative to unthrottled DRAM. The
+// paper's Table 3 lists the measured latency/bandwidth at the points its
+// evaluation uses; points not in the table are derived by applying the
+// factors to the DRAM baseline.
+type Throttle struct {
+	L int // latency increase factor
+	B int // bandwidth reduction factor
+}
+
+// String renders the throttle in the paper's "L:x, B:y" notation.
+func (t Throttle) String() string { return fmt.Sprintf("L:%d,B:%d", t.L, t.B) }
+
+// DRAM baseline used by the throttle table: the paper's evaluation
+// platform measures unthrottled DRAM at 60 ns and 24 GB/s (Table 3,
+// column L:1,B:1).
+const (
+	BaseDRAMLatencyNs     = 60.0
+	BaseDRAMBandwidthGBs  = 24.0
+	baseDRAMStoreLatNs    = 60.0
+	nvmStoreLatencyFactor = 2.0 // NVM-class store penalty applied at L>=5
+)
+
+// measuredThrottle holds the paper's measured Table 3 values, which differ
+// slightly from the ideal factor arithmetic because hardware throttling is
+// not perfectly linear.
+var measuredThrottle = map[Throttle]struct{ latNs, bwGBs float64 }{
+	{1, 1}:  {60, 24},
+	{2, 2}:  {128, 12.4},
+	{5, 5}:  {354, 5.1},
+	{5, 12}: {960, 1.38},
+}
+
+// ThrottleTable is the paper's Table 3 in its published column order.
+var ThrottleTable = []Throttle{{1, 1}, {2, 2}, {5, 5}, {5, 12}}
+
+// LatencyNs returns the effective load latency at this throttle point,
+// preferring the measured Table 3 value when one exists.
+func (t Throttle) LatencyNs() float64 {
+	if m, ok := measuredThrottle[t]; ok {
+		return m.latNs
+	}
+	// Derived points interpolate the measured super-linearity: measured
+	// L:5 latency is 354 ns rather than the ideal 300 ns, so scale the
+	// ideal value by the nearest measured ratio.
+	ideal := BaseDRAMLatencyNs * float64(t.L)
+	switch {
+	case t.L >= 5:
+		return ideal * (354.0 / 300.0)
+	case t.L >= 2:
+		return ideal * (128.0 / 120.0)
+	default:
+		return ideal
+	}
+}
+
+// BandwidthGBs returns the effective bandwidth at this throttle point,
+// preferring the measured Table 3 value when one exists.
+func (t Throttle) BandwidthGBs() float64 {
+	if m, ok := measuredThrottle[t]; ok {
+		return m.bwGBs
+	}
+	// Measured throttling loses slightly more bandwidth than the ideal
+	// division (B:12 measures 1.38 rather than 2.0); apply a mild excess
+	// for derived high-B points.
+	ideal := BaseDRAMBandwidthGBs / float64(t.B)
+	if t.B >= 10 {
+		return ideal * (1.38 / 2.0)
+	}
+	return ideal
+}
+
+// StoreLatencyNs returns the effective store latency. Deeply throttled
+// configurations emulate NVM-class memory, whose writes are slower than
+// reads (Table 1); milder throttles keep symmetric DRAM behaviour.
+func (t Throttle) StoreLatencyNs() float64 {
+	lat := t.LatencyNs()
+	if t.L >= 5 {
+		return lat * nvmStoreLatencyFactor
+	}
+	return lat
+}
+
+// Spec converts the throttle point into a TierSpec usable as a SlowMem
+// (or, for L:1,B:1, FastMem) tier definition.
+func (t Throttle) Spec() TierSpec {
+	return TierSpec{
+		LoadLatencyNs:  t.LatencyNs(),
+		StoreLatencyNs: t.StoreLatencyNs(),
+		BandwidthGBs:   t.BandwidthGBs(),
+	}
+}
+
+// Sensitivity sweep points used by Figures 1 and 2, in presentation order.
+var SensitivitySweep = []Throttle{{2, 2}, {5, 5}, {5, 7}, {5, 9}, {5, 12}}
+
+// RemoteNUMA models the paper's "Remote NUMA" comparison bar: FastMem
+// placed on a remote socket. Cross-socket access adds roughly 50% latency
+// and loses roughly 40% bandwidth on the paper's Xeon X5560 platform,
+// which is what bounds the observed <30% application slowdown.
+var RemoteNUMA = TierSpec{
+	LoadLatencyNs:  BaseDRAMLatencyNs * 1.5,
+	StoreLatencyNs: baseDRAMStoreLatNs * 1.5,
+	BandwidthGBs:   BaseDRAMBandwidthGBs * 0.6,
+}

@@ -1,0 +1,63 @@
+package memsim
+
+import "fmt"
+
+// Tier identifies one of the two generic memory types the paper manages.
+// The design deliberately abstracts concrete technologies into a fast,
+// capacity-limited tier and a slow, large tier (Section 2.1).
+type Tier int
+
+const (
+	// FastMem is the high-bandwidth, low-latency, limited-capacity tier.
+	FastMem Tier = iota
+	// SlowMem is the low-bandwidth, high-latency, large-capacity tier.
+	SlowMem
+	// NumTiers is the number of managed tiers.
+	NumTiers
+)
+
+// String returns the paper's name for the tier.
+func (t Tier) String() string {
+	switch t {
+	case FastMem:
+		return "FastMem"
+	case SlowMem:
+		return "SlowMem"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// Valid reports whether t names a managed tier.
+func (t Tier) Valid() bool { return t >= 0 && t < NumTiers }
+
+// Other returns the opposite tier.
+func (t Tier) Other() Tier {
+	if t == FastMem {
+		return SlowMem
+	}
+	return FastMem
+}
+
+// TierSpec carries the performance parameters of one tier.
+type TierSpec struct {
+	LoadLatencyNs  float64
+	StoreLatencyNs float64
+	BandwidthGBs   float64
+}
+
+// FastTierSpec is the default FastMem: unthrottled DRAM (L:1, B:1).
+func FastTierSpec() TierSpec { return Throttle{1, 1}.Spec() }
+
+// SlowTierSpec is the paper's default SlowMem for the main evaluation:
+// bandwidth reduced ~9x and latency increased ~5x (Section 5.1).
+func SlowTierSpec() TierSpec { return Throttle{5, 9}.Spec() }
+
+// MFN is a machine frame number: an index into host physical memory, in
+// units of PageSize. The machine address space is laid out with all
+// FastMem frames first, then all SlowMem frames, so tier lookup is a
+// single comparison.
+type MFN uint64
+
+// NilMFN marks "no frame".
+const NilMFN = MFN(^uint64(0))

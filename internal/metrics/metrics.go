@@ -1,0 +1,146 @@
+// Package metrics provides the small reporting toolkit the experiment
+// harness uses: derived ratios (gain %, slowdown factor) and fixed-width
+// text tables that render each paper figure/table as rows and series.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// GainPercent reports how much faster value is than baseline, in percent
+// (the paper's "gains (%) relative to SlowMem-only": 100% gain = 2x).
+// Times: smaller is better, so gain = (baseline/value - 1) * 100.
+func GainPercent(baselineTime, time float64) float64 {
+	if time == 0 {
+		return 0
+	}
+	return (baselineTime/time - 1) * 100
+}
+
+// Slowdown reports value/baseline for times (>1 = slower), the paper's
+// "slowdown factor relative to FastMem-only".
+func Slowdown(baselineTime, time float64) float64 {
+	if baselineTime == 0 {
+		return 0
+	}
+	return time / baselineTime
+}
+
+// Table renders aligned columns of figure/table data.
+type Table struct {
+	Title   string
+	Caption string
+	header  []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// AddRow appends one formatted row; values are Sprint'ed with %v except
+// float64, which renders with 2 decimals.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows reports the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the rendered cell at (row, col).
+func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	fmt.Fprintf(w, "%s\n", t.Title)
+	if t.Caption != "" {
+		fmt.Fprintf(w, "%s\n", t.Caption)
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for i, h := range t.header {
+		fmt.Fprintf(w, "%-*s", widths[i]+2, h)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, r := range t.rows {
+		for i, c := range r {
+			fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// RenderMarkdown writes the table as GitHub-flavoured markdown, for
+// dropping experiment results straight into documentation.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "**%s**\n", t.Title)
+	if t.Caption != "" {
+		fmt.Fprintf(w, "_%s_\n", t.Caption)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.header, " | "))
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, r := range t.rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | "))
+	}
+}
+
+// RenderCSV writes the table as CSV (header row first), for plotting
+// pipelines. Cells containing commas or quotes are quoted.
+func (t *Table) RenderCSV(w io.Writer) {
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.header)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+}

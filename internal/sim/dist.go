@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(i+1)^s. Workload models use it for the skewed page-popularity
+// distributions typical of key-value stores and web serving.
+//
+// The implementation precomputes the cumulative distribution and samples
+// by binary search, which is exact, allocation-free per sample, and fast
+// enough for the access volumes the simulator generates.
+type Zipf struct {
+	rng *RNG
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with exponent s > 0.
+func NewZipf(rng *RNG, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("sim: NewZipf with non-positive n")
+	}
+	if s <= 0 {
+		panic("sim: NewZipf with non-positive exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{rng: rng, cdf: cdf}
+}
+
+// N reports the support size of the distribution.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws the next value.
+func (z *Zipf) Sample() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// HotCold models the classic two-level locality pattern: a fraction
+// hotFrac of accesses go to the first hotItems items; the remainder are
+// uniform over the cold tail. It captures working-set behaviour (Denning)
+// without per-item CDF state, so it scales to multi-million-page
+// footprints.
+type HotCold struct {
+	rng      *RNG
+	items    int
+	hotItems int
+	hotFrac  float64
+}
+
+// NewHotCold builds a sampler over [0, items) where hotFrac of samples
+// land in [0, hotItems).
+func NewHotCold(rng *RNG, items, hotItems int, hotFrac float64) *HotCold {
+	if items <= 0 {
+		panic("sim: NewHotCold with non-positive items")
+	}
+	if hotItems <= 0 || hotItems > items {
+		panic(fmt.Sprintf("sim: NewHotCold hotItems %d out of range (0, %d]", hotItems, items))
+	}
+	if hotFrac < 0 || hotFrac > 1 {
+		panic("sim: NewHotCold hotFrac outside [0,1]")
+	}
+	return &HotCold{rng: rng, items: items, hotItems: hotItems, hotFrac: hotFrac}
+}
+
+// Sample draws the next item index.
+func (h *HotCold) Sample() int {
+	if h.rng.Bool(h.hotFrac) {
+		return h.rng.Intn(h.hotItems)
+	}
+	if h.items == h.hotItems {
+		return h.rng.Intn(h.items)
+	}
+	return h.hotItems + h.rng.Intn(h.items-h.hotItems)
+}
+
+// Items reports the support size.
+func (h *HotCold) Items() int { return h.items }
+
+// HotItems reports the size of the hot set.
+func (h *HotCold) HotItems() int { return h.hotItems }
+
+// SequentialWindow models streaming access: a cursor sweeps over [0, items)
+// and each call returns the next position, wrapping at the end. Graph
+// engines that stream edges from memory-mapped files (X-Stream, GraphChi
+// shards) behave this way.
+type SequentialWindow struct {
+	items  int
+	cursor int
+}
+
+// NewSequentialWindow builds a sweeping cursor over [0, items).
+func NewSequentialWindow(items int) *SequentialWindow {
+	if items <= 0 {
+		panic("sim: NewSequentialWindow with non-positive items")
+	}
+	return &SequentialWindow{items: items}
+}
+
+// Sample returns the next position in the sweep.
+func (s *SequentialWindow) Sample() int {
+	v := s.cursor
+	s.cursor++
+	if s.cursor >= s.items {
+		s.cursor = 0
+	}
+	return v
+}
+
+// Pos reports the current cursor position without advancing it.
+func (s *SequentialWindow) Pos() int { return s.cursor }

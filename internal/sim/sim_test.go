@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %d, want 0", c.Now())
+	}
+	c.Advance(5 * Millisecond)
+	if got := c.Now(); got != Time(5*Millisecond) {
+		t.Fatalf("Now() = %d, want %d", got, 5*Millisecond)
+	}
+	c.Advance(0)
+	if got := c.Now(); got != Time(5*Millisecond) {
+		t.Fatalf("zero advance moved clock to %d", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Reset left clock at %d", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(100)
+	t1 := t0.Add(50)
+	if t1 != 150 {
+		t.Fatalf("Add = %d, want 150", t1)
+	}
+	if d := t1.Sub(t0); d != 50 {
+		t.Fatalf("Sub = %d, want 50", d)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2500, "2.500µs"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestDurationSeconds(t *testing.T) {
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds = %v, want 1.5", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid/duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	parent := NewRNG(9)
+	child := parent.Fork()
+	// The child stream must not mirror the parent stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("fork mirrors parent: %d/100 identical", same)
+	}
+}
+
+func TestRNGUniformityProperty(t *testing.T) {
+	// Property: for any seed and bucket count, Intn fills all buckets
+	// given enough draws.
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		const buckets = 8
+		var counts [buckets]int
+		for i := 0; i < 4000; i++ {
+			counts[r.Intn(buckets)]++
+		}
+		for _, c := range counts {
+			if c == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(13)
+	z := NewZipf(r, 1.0, 1000)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Sample()]++
+	}
+	// Rank 0 must dominate rank 99 by roughly the theoretical factor 100.
+	if counts[0] < counts[99]*20 {
+		t.Fatalf("zipf not skewed: rank0=%d rank99=%d", counts[0], counts[99])
+	}
+	if z.N() != 1000 {
+		t.Fatalf("N = %d", z.N())
+	}
+}
+
+func TestZipfSupport(t *testing.T) {
+	r := NewRNG(17)
+	z := NewZipf(r, 0.8, 50)
+	for i := 0; i < 10000; i++ {
+		v := z.Sample()
+		if v < 0 || v >= 50 {
+			t.Fatalf("sample %d outside support", v)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	r := NewRNG(1)
+	for _, f := range []func(){
+		func() { NewZipf(r, 1.0, 0) },
+		func() { NewZipf(r, 0, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHotColdFractions(t *testing.T) {
+	r := NewRNG(21)
+	h := NewHotCold(r, 1000, 100, 0.9)
+	hot := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if h.Sample() < 100 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if math.Abs(frac-0.9) > 0.02 {
+		t.Fatalf("hot fraction = %v, want ~0.9", frac)
+	}
+	if h.Items() != 1000 || h.HotItems() != 100 {
+		t.Fatalf("accessors wrong: %d/%d", h.Items(), h.HotItems())
+	}
+}
+
+func TestHotColdDegenerate(t *testing.T) {
+	r := NewRNG(23)
+	// hotItems == items must not panic on the cold branch.
+	h := NewHotCold(r, 10, 10, 0.5)
+	for i := 0; i < 1000; i++ {
+		v := h.Sample()
+		if v < 0 || v >= 10 {
+			t.Fatalf("sample %d out of range", v)
+		}
+	}
+}
+
+func TestHotColdValidation(t *testing.T) {
+	r := NewRNG(1)
+	bad := []func(){
+		func() { NewHotCold(r, 0, 1, 0.5) },
+		func() { NewHotCold(r, 10, 0, 0.5) },
+		func() { NewHotCold(r, 10, 11, 0.5) },
+		func() { NewHotCold(r, 10, 5, 1.5) },
+	}
+	for i, f := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSequentialWindowSweeps(t *testing.T) {
+	s := NewSequentialWindow(5)
+	want := []int{0, 1, 2, 3, 4, 0, 1}
+	for i, w := range want {
+		if got := s.Sample(); got != w {
+			t.Fatalf("step %d: got %d, want %d", i, got, w)
+		}
+	}
+	if s.Pos() != 2 {
+		t.Fatalf("Pos = %d, want 2", s.Pos())
+	}
+}

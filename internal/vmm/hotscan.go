@@ -1,0 +1,330 @@
+package vmm
+
+import (
+	"sort"
+
+	"heteroos/internal/guestos"
+	"heteroos/internal/memsim"
+	"heteroos/internal/sim"
+)
+
+// ScanCosts prices the software hotness-tracking machinery. The paper's
+// Observation 4: the page table must be scanned frequently, TLB entries
+// must be flushed even just to track (forcing page-table references),
+// and the whole thing stalls a core.
+type ScanCosts struct {
+	// PTEScanNs is the cost of visiting one PTE: locate via reverse map,
+	// read + reset the access bit.
+	PTEScanNs float64
+	// TLBFlushNs is one shootdown; one is issued per FlushBatchPages
+	// scanned so the hardware re-sets access bits on reference.
+	TLBFlushNs      float64
+	FlushBatchPages int
+	// TLBRefillNs approximates the guest-visible slowdown from the
+	// induced TLB misses, per scanned page.
+	TLBRefillNs float64
+}
+
+// DefaultScanCosts is calibrated so a 100 ms / 32K-page scan cadence on a
+// GraphChi-sized VM lands in Figure 8's 40-60% overhead band and a
+// 500 ms cadence near 30%.
+func DefaultScanCosts() ScanCosts {
+	return ScanCosts{
+		PTEScanNs:       250,
+		TLBFlushNs:      12000,
+		FlushBatchPages: 512,
+		TLBRefillNs:     150,
+	}
+}
+
+// Scaled adapts the cost model to a capacity-scaled simulation: one
+// simulated page stands for factor real pages, so per-page costs grow by
+// factor and the flush batch (counted in simulated pages) shrinks.
+func (c ScanCosts) Scaled(factor float64) ScanCosts {
+	if factor <= 0 {
+		factor = 1
+	}
+	out := c
+	out.PTEScanNs *= factor
+	out.TLBRefillNs *= factor
+	out.FlushBatchPages = int(float64(c.FlushBatchPages) / factor)
+	if out.FlushBatchPages < 1 {
+		out.FlushBatchPages = 1
+	}
+	return out
+}
+
+// ScanResult reports one scan pass.
+type ScanResult struct {
+	Scanned    int
+	Referenced int
+	CostNs     float64
+}
+
+// Scanner is the VMM's hotness tracker. It keeps a per-page heat history
+// (exponential decay of access-bit samples), mirroring HeteroVisor's
+// batched tracking with a VMM-level reverse map.
+type Scanner struct {
+	view  GuestView
+	costs ScanCosts
+	// cursor for full-span batched scanning (VMM-exclusive mode).
+	cursor uint64
+	// BatchPages bounds one ScanNext pass (HeteroVisor scans 16K-32K
+	// guest pages per interval).
+	BatchPages int
+	// HotThreshold is the heat at which a page counts as hot
+	// (promotion candidate).
+	HotThreshold uint8
+	// ColdThreshold is the heat at or below which a page counts as cold
+	// (demotion candidate). The dead band between the thresholds is
+	// hysteresis: pages of middling heat are never moved, which stops
+	// promote/demote ping-pong at the boundary.
+	ColdThreshold uint8
+	// TrustGuestState lets the ranking consult guest page state (free,
+	// kind). The VMM-exclusive baseline must leave this false: the
+	// hypervisor cannot see deallocations, so it happily promotes pages
+	// the guest already freed — "migrate pages marked for deletion only
+	// polluting FastMem" (Section 4.1). Coordinated mode sets it true.
+	TrustGuestState bool
+	// TrackWrites additionally samples the write (PAGE_RW) bit on each
+	// scan — the Section 4.3 extension for asymmetric (NVM-class)
+	// SlowMem. It adds per-PTE cost: the paper warns that software
+	// write-bit tracking "can add significant software overhead".
+	TrackWrites bool
+	// WriteBoost weights write-heat into the ranking score; set it to
+	// roughly storeLatency/loadLatency - 1 of the slow tier.
+	WriteBoost float64
+}
+
+// NewScanner builds a scanner over view.
+func NewScanner(view GuestView, costs ScanCosts) *Scanner {
+	return &Scanner{
+		view:          view,
+		costs:         costs,
+		BatchPages:    32 * 1024,
+		HotThreshold:  4,
+		ColdThreshold: 1,
+	}
+}
+
+// sample folds one access-bit observation into a page's heat; with
+// write tracking enabled it folds the write bit the same way.
+func (s *Scanner) sample(pfn guestos.PFN, referenced bool) {
+	h := s.view.ScanHeat(pfn) >> 1
+	if referenced {
+		h += 4
+	}
+	s.view.SetScanHeat(pfn, h)
+	if s.TrackWrites {
+		w := s.view.ScanWriteHeat(pfn) >> 1
+		if s.view.TestAndClearWritten(pfn) {
+			w += 4
+		}
+		s.view.SetScanWriteHeat(pfn, w)
+	}
+}
+
+// Heat reports the tracked heat of pfn.
+func (s *Scanner) Heat(pfn guestos.PFN) uint8 { return s.view.ScanHeat(pfn) }
+
+// score combines read heat with (optionally boosted) write heat: on
+// asymmetric SlowMem a store-heavy page earns more from FastMem than an
+// equally-referenced load-heavy one.
+func (s *Scanner) score(pfn guestos.PFN) uint8 {
+	h := float64(s.view.ScanHeat(pfn))
+	if s.TrackWrites && s.WriteBoost > 0 {
+		h += s.WriteBoost * float64(s.view.ScanWriteHeat(pfn))
+	}
+	if h > 255 {
+		h = 255
+	}
+	return uint8(h)
+}
+
+// Hot reports whether pfn's heat crosses the threshold.
+func (s *Scanner) Hot(pfn guestos.PFN) bool { return s.Heat(pfn) >= s.HotThreshold }
+
+// ScanNext scans the next BatchPages of the whole guest span
+// (VMM-exclusive mode: "tracking the entire guest-VM's memory").
+func (s *Scanner) ScanNext() ScanResult {
+	n := uint64(s.BatchPages)
+	span := s.view.NumPFNs()
+	if n > span {
+		n = span
+	}
+	var res ScanResult
+	for i := uint64(0); i < n; i++ {
+		pfn := guestos.PFN(s.cursor)
+		s.cursor++
+		if s.cursor >= span {
+			s.cursor = 0
+		}
+		ref := s.view.TestAndClearAccessed(pfn)
+		s.sample(pfn, ref)
+		res.Scanned++
+		if ref {
+			res.Referenced++
+		}
+	}
+	res.CostNs = s.scanCost(res.Scanned)
+	return res
+}
+
+// ScanTracked scans only the guest-exported tracking list (coordinated
+// mode: "the guest-OS exports a tracking list ... the VMM should track
+// for hotness"), which is how coordination shrinks the tracking scope.
+func (s *Scanner) ScanTracked(tracked []guestos.PFN) ScanResult {
+	var res ScanResult
+	limit := len(tracked)
+	if s.BatchPages > 0 && limit > s.BatchPages {
+		limit = s.BatchPages
+	}
+	start := 0
+	if len(tracked) > limit {
+		// Rotate through the list across calls.
+		start = int(s.cursor) % len(tracked)
+	}
+	for i := 0; i < limit; i++ {
+		pfn := tracked[(start+i)%len(tracked)]
+		ref := s.view.TestAndClearAccessed(pfn)
+		s.sample(pfn, ref)
+		res.Scanned++
+		if ref {
+			res.Referenced++
+		}
+	}
+	s.cursor += uint64(limit)
+	res.CostNs = s.scanCost(res.Scanned)
+	return res
+}
+
+func (s *Scanner) scanCost(pages int) float64 {
+	if pages == 0 {
+		return 0
+	}
+	perPTE := s.costs.PTEScanNs + s.costs.TLBRefillNs
+	if s.TrackWrites {
+		// Write-bit scanning visits and rewrites the PTE a second time.
+		perPTE *= 1.5
+	}
+	flushes := 1 + pages/s.costs.FlushBatchPages
+	return float64(pages)*perPTE + float64(flushes)*s.costs.TLBFlushNs
+}
+
+// rankIn collects pages backed by tier whose score satisfies the
+// thresholds (unless ignoreThreshold), ordered by score (desc when
+// hotFirst) with PFN tiebreak for determinism, truncated to max.
+func (s *Scanner) rankIn(machine *memsim.Machine, tier memsim.Tier, hotFirst bool, max int, ignoreThreshold bool) []guestos.PFN {
+	type entry struct {
+		pfn  guestos.PFN
+		heat uint8
+	}
+	var cands []entry
+	for pfn := guestos.PFN(0); pfn < guestos.PFN(s.view.NumPFNs()); pfn++ {
+		h := s.score(pfn)
+		if !ignoreThreshold && hotFirst && h < s.HotThreshold {
+			continue
+		}
+		if !ignoreThreshold && !hotFirst && h > s.ColdThreshold {
+			continue
+		}
+		snap := s.view.Snapshot(pfn)
+		if snap.MFN == memsim.NilMFN {
+			continue
+		}
+		if snap.Free && s.TrustGuestState {
+			continue
+		}
+		if machine.TierOf(snap.MFN) != tier {
+			continue
+		}
+		cands = append(cands, entry{pfn, h})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].heat != cands[j].heat {
+			if hotFirst {
+				return cands[i].heat > cands[j].heat
+			}
+			return cands[i].heat < cands[j].heat
+		}
+		return cands[i].pfn < cands[j].pfn
+	})
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	out := make([]guestos.PFN, len(cands))
+	for i, c := range cands {
+		out[i] = c.pfn
+	}
+	return out
+}
+
+// HottestIn returns up to max tracked-hot pages currently backed by
+// tier, hottest first (stable order for determinism).
+func (s *Scanner) HottestIn(machine *memsim.Machine, tier memsim.Tier, max int) []guestos.PFN {
+	return s.rankIn(machine, tier, true, max, false)
+}
+
+// ColdestIn returns up to max minimum-heat pages backed by tier,
+// coldest first.
+func (s *Scanner) ColdestIn(machine *memsim.Machine, tier memsim.Tier, max int) []guestos.PFN {
+	return s.rankIn(machine, tier, false, max, false)
+}
+
+// CoolestIn returns up to max pages backed by tier in ascending score
+// order with no threshold filter. The write-aware coordinator uses it
+// when nothing is absolutely cold: on asymmetric memory a read-hot page
+// can still be the right page to displace for a write-hot one, and the
+// heat margin decides case by case.
+func (s *Scanner) CoolestIn(machine *memsim.Machine, tier memsim.Tier, max int) []guestos.PFN {
+	return s.rankIn(machine, tier, false, max, true)
+}
+
+// AdaptiveInterval implements Equation 1: the scan/migration interval
+// shrinks when LLC misses rise epoch-over-epoch and grows when they
+// fall, clamped to [Min, Max]. HeteroOS-coordinated varies the interval
+// from 50 ms to 1 s (Section 5.4).
+type AdaptiveInterval struct {
+	Min, Max sim.Duration
+	cur      sim.Duration
+	lastMiss float64
+	primed   bool
+}
+
+// NewAdaptiveInterval starts at start within [min, max].
+func NewAdaptiveInterval(min, max, start sim.Duration) *AdaptiveInterval {
+	a := &AdaptiveInterval{Min: min, Max: max, cur: start}
+	a.clamp()
+	return a
+}
+
+func (a *AdaptiveInterval) clamp() {
+	if a.cur < a.Min {
+		a.cur = a.Min
+	}
+	if a.cur > a.Max {
+		a.cur = a.Max
+	}
+}
+
+// Current reports the interval in force.
+func (a *AdaptiveInterval) Current() sim.Duration { return a.cur }
+
+// Update folds the epoch's LLC miss count:
+//
+//	ΔLLCMiss = (miss_i − miss_{i−1}) / miss_{i−1}
+//	Interval = Interval − ΔLLCMiss × Interval
+func (a *AdaptiveInterval) Update(llcMisses float64) sim.Duration {
+	if !a.primed {
+		a.primed = true
+		a.lastMiss = llcMisses
+		return a.cur
+	}
+	if a.lastMiss > 0 {
+		delta := (llcMisses - a.lastMiss) / a.lastMiss
+		a.cur = a.cur - sim.Duration(delta*float64(a.cur))
+		a.clamp()
+	}
+	a.lastMiss = llcMisses
+	return a.cur
+}

@@ -1,0 +1,231 @@
+package vmm
+
+import (
+	"heteroos/internal/drf"
+	"heteroos/internal/memsim"
+)
+
+// SharePolicy arbitrates machine frames between VMs. Authorize is called
+// on every balloon populate request; policies may trigger reclaim
+// (ballooning other VMs) before answering.
+type SharePolicy interface {
+	Name() string
+	Register(vm *VM) error
+	// Authorize returns how many of the want frames the VM may take now.
+	Authorize(vm *VM, t memsim.Tier, want uint64) uint64
+	// OnGrant / OnRelease keep the policy's books in sync with actual
+	// frame movement.
+	OnGrant(vm *VM, t memsim.Tier, n uint64)
+	OnRelease(vm *VM, t memsim.Tier, n uint64)
+}
+
+// --- Static ---
+
+// StaticShare authorises anything within the VM's ceiling while free
+// frames exist: the single-VM experiments use it so the share layer adds
+// no effects.
+type StaticShare struct{}
+
+// Name implements SharePolicy.
+func (StaticShare) Name() string { return "static" }
+
+// Register implements SharePolicy.
+func (StaticShare) Register(*VM) error { return nil }
+
+// Authorize implements SharePolicy.
+func (StaticShare) Authorize(vm *VM, t memsim.Tier, want uint64) uint64 {
+	if free := vm.vmm.Machine.FreeFrames(t); want > free {
+		want = free
+	}
+	return want
+}
+
+// OnGrant implements SharePolicy.
+func (StaticShare) OnGrant(*VM, memsim.Tier, uint64) {}
+
+// OnRelease implements SharePolicy.
+func (StaticShare) OnRelease(*VM, memsim.Tier, uint64) {}
+
+// --- Single-resource max-min ---
+
+// MaxMinShare implements today's VMM default (Section 4.2): every VM is
+// guaranteed its reservation per tier; spare capacity is handed out as
+// overcommit; when a VM asks for frames within its reservation and the
+// tier is exhausted, overcommitted VMs are ballooned back toward their
+// reservations. Each tier is arbitrated independently — the paper's
+// point is that this cannot couple FastMem and SlowMem fairness.
+type MaxMinShare struct{}
+
+// Name implements SharePolicy.
+func (MaxMinShare) Name() string { return "max-min" }
+
+// Register implements SharePolicy.
+func (MaxMinShare) Register(*VM) error { return nil }
+
+// Authorize implements SharePolicy.
+func (MaxMinShare) Authorize(vm *VM, t memsim.Tier, want uint64) uint64 {
+	m := vm.vmm
+	free := m.Machine.FreeFrames(t)
+	if free >= want {
+		return want
+	}
+	// Below-reservation requests may reclaim overcommit from others.
+	if vm.granted[t] < vm.Spec.Reserved[t] {
+		need := want - free
+		reclaimOvercommit(m, t, need, vm)
+		if free = m.Machine.FreeFrames(t); want > free {
+			want = free
+		}
+		return want
+	}
+	return free
+}
+
+// reclaimOvercommit balloons VMs holding more than their reservation of
+// tier t, round-robin, until need frames are free or nothing reclaims.
+func reclaimOvercommit(m *VMM, t memsim.Tier, need uint64, exclude *VM) {
+	for _, id := range m.order {
+		if need == 0 {
+			return
+		}
+		vm := m.vms[id]
+		if vm == exclude || vm.Balloon == nil {
+			continue
+		}
+		over := uint64(0)
+		if vm.granted[t] > vm.Spec.Reserved[t] {
+			over = vm.granted[t] - vm.Spec.Reserved[t]
+		}
+		if over == 0 {
+			continue
+		}
+		take := over
+		if take > need {
+			take = need
+		}
+		target := vm.granted[t] - take
+		got := vm.Balloon.BalloonTarget(t, target)
+		if got > need {
+			got = need
+		}
+		need -= got
+	}
+}
+
+// OnGrant implements SharePolicy.
+func (MaxMinShare) OnGrant(*VM, memsim.Tier, uint64) {}
+
+// OnRelease implements SharePolicy.
+func (MaxMinShare) OnRelease(*VM, memsim.Tier, uint64) {}
+
+// --- Weighted DRF ---
+
+// DRFShare arbitrates with weighted Dominant Resource Fairness
+// (Algorithm 1): a request is granted while capacity allows; when a tier
+// is exhausted, the policy balloons the VM with the highest dominant
+// share (if that is not the requester) before retrying. Weights default
+// to the paper's FastMem=2, SlowMem=1.
+type DRFShare struct {
+	alloc *drf.Allocator
+}
+
+// NewDRFShare builds the policy over the machine's capacities.
+func NewDRFShare(machine *memsim.Machine, weights [memsim.NumTiers]float64) (*DRFShare, error) {
+	caps := []float64{float64(machine.Frames(memsim.FastMem)), float64(machine.Frames(memsim.SlowMem))}
+	w := []float64{weights[memsim.FastMem], weights[memsim.SlowMem]}
+	a, err := drf.New(caps, w)
+	if err != nil {
+		return nil, err
+	}
+	return &DRFShare{alloc: a}, nil
+}
+
+// DefaultDRFWeights is the paper's static weighting.
+func DefaultDRFWeights() [memsim.NumTiers]float64 {
+	var w [memsim.NumTiers]float64
+	w[memsim.FastMem] = 2
+	w[memsim.SlowMem] = 1
+	return w
+}
+
+// Name implements SharePolicy.
+func (*DRFShare) Name() string { return "weighted-DRF" }
+
+// Register implements SharePolicy.
+func (d *DRFShare) Register(vm *VM) error {
+	return d.alloc.AddClient(drf.ClientID(vm.Spec.ID))
+}
+
+func demandVec(t memsim.Tier, n uint64) []float64 {
+	v := make([]float64, memsim.NumTiers)
+	v[t] = float64(n)
+	return v
+}
+
+// Authorize implements SharePolicy.
+func (d *DRFShare) Authorize(vm *VM, t memsim.Tier, want uint64) uint64 {
+	m := vm.vmm
+	avail := uint64(d.alloc.Available(int(t)))
+	if avail >= want {
+		return want
+	}
+	// Capacity short: Algorithm 1's reclaim branch. Balloon the VM with
+	// the highest dominant share — unless the requester itself already
+	// dominates, in which case it must live within its means.
+	reqShare, _ := d.alloc.DominantShare(drf.ClientID(vm.Spec.ID))
+	var victim *VM
+	victimShare := reqShare
+	for _, id := range m.order {
+		cand := m.vms[id]
+		if cand == vm || cand.Balloon == nil {
+			continue
+		}
+		s, err := d.alloc.DominantShare(drf.ClientID(cand.Spec.ID))
+		if err != nil {
+			continue
+		}
+		if s > victimShare {
+			victim, victimShare = cand, s
+		}
+	}
+	if victim != nil {
+		need := want - avail
+		// Do not balloon below the victim's reservation.
+		floor := victim.Spec.Reserved[t]
+		target := floor
+		if victim.granted[t] > need && victim.granted[t]-need > floor {
+			target = victim.granted[t] - need
+		}
+		if victim.granted[t] > target {
+			victim.Balloon.BalloonTarget(t, target)
+		}
+		avail = uint64(d.alloc.Available(int(t)))
+	}
+	if want > avail {
+		want = avail
+	}
+	return want
+}
+
+// OnGrant implements SharePolicy.
+func (d *DRFShare) OnGrant(vm *VM, t memsim.Tier, n uint64) {
+	if err := d.alloc.Grant(drf.ClientID(vm.Spec.ID), demandVec(t, n)); err != nil {
+		panic("vmm: DRF books diverged on grant: " + err.Error())
+	}
+}
+
+// OnRelease implements SharePolicy.
+func (d *DRFShare) OnRelease(vm *VM, t memsim.Tier, n uint64) {
+	if err := d.alloc.Release(drf.ClientID(vm.Spec.ID), demandVec(t, n)); err != nil {
+		panic("vmm: DRF books diverged on release: " + err.Error())
+	}
+}
+
+// DominantShare exposes a VM's current dominant share (reporting).
+func (d *DRFShare) DominantShare(id VMID) float64 {
+	s, err := d.alloc.DominantShare(drf.ClientID(id))
+	if err != nil {
+		return 0
+	}
+	return s
+}

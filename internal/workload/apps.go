@@ -1,0 +1,471 @@
+package workload
+
+import (
+	"heteroos/internal/guestos"
+	"heteroos/internal/sim"
+)
+
+// --- GraphChi (Table 2: PageRank on the Orkut social graph) ---
+
+// GraphChi models the out-of-core graph engine: a large heap holding
+// vertex data and shard buffers (frequently mapped and unmapped — the
+// paper highlights its allocate/release churn), shard reads through the
+// page cache, and memory-intensive batched compute (MPKI 27.4, the most
+// bandwidth-sensitive app of Figure 1).
+type GraphChi struct {
+	cfg     Config
+	rng     *sim.RNG
+	profile Profile
+
+	heap  *heapRegion
+	shard *heapRegion // rotating shard buffer, churned
+	file  guestos.FileID
+	epoch int
+
+	heapPages, shardPages, filePages uint64
+}
+
+// NewGraphChi builds the GraphChi model.
+func NewGraphChi(cfg Config) *GraphChi {
+	return &GraphChi{
+		cfg: cfg,
+		rng: sim.NewRNG(cfg.Seed ^ 0x67726368),
+		profile: Profile{
+			Name:          "GraphChi",
+			Description:   "Pagerank using Orkut social graph, 8 million nodes, 500 million edges",
+			Metric:        "time(sec)",
+			MPKI:          27.4,
+			WSSBytes:      3 * GiB / 2, // 1.5 GiB active working set
+			Threads:       8,
+			MLP:           2.5,
+			BytesPerMiss:  48,
+			StoreMissFrac: 0.30,
+			InstrPerEpoch: 2_500_000_000,
+			TotalEpochs:   150,
+		},
+		heapPages:  0,
+		shardPages: 0,
+	}
+}
+
+// Profile implements Workload.
+func (g *GraphChi) Profile() Profile { return g.profile }
+
+// Init implements Workload.
+func (g *GraphChi) Init(os *guestos.OS) error {
+	g.heapPages = g.cfg.Pages(5 * GiB)
+	g.shardPages = g.cfg.Pages(256 * MiB)
+	g.filePages = g.cfg.Pages(2 * GiB)
+	g.file = guestos.FileID(11)
+	hot := g.cfg.Pages(g.profile.WSSBytes)
+	var err error
+	g.heap, err = newHeapRegion(os, g.rng, g.heapPages, hot, 0.9)
+	if err != nil {
+		return err
+	}
+	// Graph iterations sweep vertex ranges: the hot window drifts so a
+	// tenth of it is fresh each epoch.
+	g.heap.setDrift(hot / 150)
+	g.shard, err = newHeapRegion(os, g.rng, g.shardPages, g.shardPages, 1.0)
+	return err
+}
+
+// Step implements Workload.
+func (g *GraphChi) Step(os *guestos.OS) (uint64, bool) {
+	g.epoch++
+	// Shard phase every 8 epochs: release the shard buffer, remap it
+	// (allocate/release churn), and stream the next shard from disk.
+	if g.epoch%8 == 1 {
+		if g.shard != nil {
+			if err := os.AS.Munmap(g.shard.vma.ID); err != nil {
+				return 0, true
+			}
+		}
+		var err error
+		g.shard, err = newHeapRegion(os, g.rng, g.shardPages, g.shardPages, 1.0)
+		if err != nil {
+			return 0, true
+		}
+		off := uint64(g.epoch/8) % (g.filePages / 64 * 64)
+		os.FileRead(g.file, off, 64)
+	}
+	// Batched vertex compute: heavy heap traffic, touch the shard too.
+	if err := g.heap.touch(os, touchSamples, 4, g.profile.StoreMissFrac); err != nil {
+		return 0, true
+	}
+	if err := g.shard.touch(os, touchSamples/4, 2, 0.2); err != nil {
+		return 0, true
+	}
+	return g.profile.InstrPerEpoch, g.epoch >= g.profile.TotalEpochs
+}
+
+// --- X-Stream (Table 2: edge-centric graph processing) ---
+
+// XStream models the streaming-partition engine: it maps its input graph
+// into the page cache and sweeps it sequentially (the paper: "computes
+// over a memory mapped I/O data"), making it the most page-cache-
+// intensive app; heap holds streaming buffers.
+type XStream struct {
+	cfg     Config
+	rng     *sim.RNG
+	profile Profile
+
+	heap  *heapRegion
+	input *sequentialRegion
+	epoch int
+	// prevWindow is the last swept range: X-Stream's scatter-gather
+	// phases re-process each streaming partition right after reading it,
+	// which is why the paper sees page-cache FastMem placement halve its
+	// runtime.
+	prevStart, prevLen int
+}
+
+// NewXStream builds the X-Stream model.
+func NewXStream(cfg Config) *XStream {
+	return &XStream{
+		cfg: cfg,
+		rng: sim.NewRNG(cfg.Seed ^ 0x78737472),
+		profile: Profile{
+			Name:          "X-Stream",
+			Description:   "Edge-centric graph processing, same input as GraphChi",
+			Metric:        "time(sec)",
+			MPKI:          24.8,
+			WSSBytes:      2 * GiB,
+			Threads:       8,
+			MLP:           2.5,
+			BytesPerMiss:  36,
+			StoreMissFrac: 0.25,
+			InstrPerEpoch: 2_500_000_000,
+			TotalEpochs:   150,
+		},
+	}
+}
+
+// Profile implements Workload.
+func (x *XStream) Profile() Profile { return x.profile }
+
+// Init implements Workload.
+func (x *XStream) Init(os *guestos.OS) error {
+	hot := x.cfg.Pages(GiB)
+	var err error
+	x.heap, err = newHeapRegion(os, x.rng, x.cfg.Pages(2*GiB), hot, 0.85)
+	if err != nil {
+		return err
+	}
+	x.heap.setDrift(hot / 150)
+	x.input, err = newSequentialRegion(os, x.cfg.Pages(4*GiB), guestos.FileID(12))
+	return err
+}
+
+// Step implements Workload.
+func (x *XStream) Step(os *guestos.OS) (uint64, bool) {
+	x.epoch++
+	// Stream a window of the mapped input (gather), then re-process the
+	// previous window (scatter): each partition is touched across two
+	// epochs.
+	window := int(x.cfg.Pages(4*GiB)) / x.profile.TotalEpochs * 3
+	start := x.input.cursor.Pos()
+	if err := x.input.sweep(os, window, 6); err != nil {
+		return 0, true
+	}
+	if x.prevLen > 0 {
+		if err := x.input.touchRange(os, x.prevStart, x.prevLen, 6); err != nil {
+			return 0, true
+		}
+		// Partition consumed: drop-behind releases its cache pages (the
+		// short-lived, high-reuse OS pages of Observation 3).
+		os.ReleaseFileRange(x.input.vma.File, uint64(x.prevStart), x.prevLen)
+	}
+	x.prevStart, x.prevLen = start, window
+	if err := x.heap.touch(os, touchSamples, 4, x.profile.StoreMissFrac); err != nil {
+		return 0, true
+	}
+	return x.profile.InstrPerEpoch, x.epoch >= x.profile.TotalEpochs
+}
+
+// --- Metis (Table 2: shared-memory map-reduce) ---
+
+// Metis models the in-memory map-reduce runtime: an input-scan phase
+// that loads the 4 GB dataset through the page cache, then compute over
+// a large heap that is seldom released (the paper: "seldom releases
+// memory and has a large working set").
+type Metis struct {
+	cfg     Config
+	rng     *sim.RNG
+	profile Profile
+
+	heap  *heapRegion
+	file  guestos.FileID
+	epoch int
+}
+
+// NewMetis builds the Metis model.
+func NewMetis(cfg Config) *Metis {
+	return &Metis{
+		cfg: cfg,
+		rng: sim.NewRNG(cfg.Seed ^ 0x6d657469),
+		profile: Profile{
+			Name:          "Metis",
+			Description:   "Shared memory mapreduce, 4GB crime dataset, 8 mapper-reducer threads",
+			Metric:        "time(sec)",
+			MPKI:          14.9,
+			WSSBytes:      7 * GiB / 2, // 3.5 GiB
+			Threads:       8,
+			MLP:           6,
+			BytesPerMiss:  8,
+			StoreMissFrac: 0.35,
+			InstrPerEpoch: 2_500_000_000,
+			TotalEpochs:   150,
+		},
+	}
+}
+
+// Profile implements Workload.
+func (m *Metis) Profile() Profile { return m.profile }
+
+// Init implements Workload.
+func (m *Metis) Init(os *guestos.OS) error {
+	m.file = guestos.FileID(13)
+	hot := m.cfg.Pages(m.profile.WSSBytes)
+	var err error
+	// Near-uniform access over a big heap: hot set is most of it and it
+	// drifts slowly as reducers move between partitions.
+	m.heap, err = newHeapRegion(os, m.rng, m.cfg.Pages(9*GiB/2), hot, 0.8)
+	if err != nil {
+		return err
+	}
+	m.heap.setDrift(hot / 400)
+	return nil
+}
+
+// Step implements Workload.
+func (m *Metis) Step(os *guestos.OS) (uint64, bool) {
+	m.epoch++
+	// Map phase (first quarter): stream the input file.
+	if m.epoch <= m.profile.TotalEpochs/4 {
+		chunk := m.cfg.Pages(4*GiB) / uint64(m.profile.TotalEpochs/4)
+		os.FileRead(m.file, uint64(m.epoch-1)*chunk, int(chunk))
+	}
+	if err := m.heap.touch(os, touchSamples, 4, m.profile.StoreMissFrac); err != nil {
+		return 0, true
+	}
+	return m.profile.InstrPerEpoch, m.epoch >= m.profile.TotalEpochs
+}
+
+// --- LevelDB (Table 2: SQLite bench over Google's LevelDB) ---
+
+// LevelDB models the LSM key-value store: log appends (sequential page-
+// cache writes), memtable heap activity, SSTable reads with Zipf key
+// popularity through the page cache, filesystem-metadata slab churn, and
+// periodic compaction (bulk reads+writes). The page cache dominates its
+// page population (Figure 4) and FastMem cache placement doubles its
+// throughput (Section 5.3).
+type LevelDB struct {
+	cfg     Config
+	rng     *sim.RNG
+	profile Profile
+
+	heap      *heapRegion
+	sstZipf   *sim.Zipf
+	sstFile   guestos.FileID
+	logFile   guestos.FileID
+	logCursor uint64
+	sstPages  uint64
+	epoch     int
+}
+
+// NewLevelDB builds the LevelDB model.
+func NewLevelDB(cfg Config) *LevelDB {
+	return &LevelDB{
+		cfg: cfg,
+		rng: sim.NewRNG(cfg.Seed ^ 0x6c64626c),
+		profile: Profile{
+			Name:          "LevelDB",
+			Description:   "Google's DB for bigtable, SQLite bench with 1M keys",
+			Metric:        "throughput (MB/s)",
+			MPKI:          4.7,
+			WSSBytes:      512 * MiB,
+			Threads:       2,
+			MLP:           2,
+			BytesPerMiss:  32,
+			StoreMissFrac: 0.4,
+			InstrPerEpoch: 600_000_000,
+			TotalEpochs:   120,
+			OpsPerEpoch:   24, // MB of database work per epoch
+		},
+	}
+}
+
+// Profile implements Workload.
+func (l *LevelDB) Profile() Profile { return l.profile }
+
+// Init implements Workload.
+func (l *LevelDB) Init(os *guestos.OS) error {
+	l.sstFile = guestos.FileID(14)
+	l.logFile = guestos.FileID(15)
+	l.sstPages = l.cfg.Pages(3 * GiB / 2)
+	l.sstZipf = sim.NewZipf(l.rng.Fork(), 0.99, int(l.sstPages))
+	var err error
+	l.heap, err = newHeapRegion(os, l.rng, l.cfg.Pages(GiB), l.cfg.Pages(256*MiB), 0.9)
+	return err
+}
+
+// Step implements Workload.
+func (l *LevelDB) Step(os *guestos.OS) (uint64, bool) {
+	l.epoch++
+	// Reads: Zipf-popular SSTable pages (read-ahead exploits runs).
+	for i := 0; i < 96; i++ {
+		off := uint64(l.sstZipf.Sample())
+		os.FileRead(l.sstFile, off, 2)
+	}
+	// Writes: sequential log append + memtable updates.
+	os.FileWrite(l.logFile, l.logCursor, 16)
+	l.logCursor += 16
+	// Filesystem metadata churn (dentries, inodes, block metadata).
+	refs := os.SlabMetaAlloc(guestos.SlabFSMeta, 32)
+	os.SlabMetaFree(refs)
+	if err := l.heap.touch(os, touchSamples/2, 3, l.profile.StoreMissFrac); err != nil {
+		return 0, true
+	}
+	// Compaction every 12 epochs: bulk read+rewrite of a run.
+	if l.epoch%12 == 0 {
+		base := uint64(l.rng.Intn(int(l.sstPages / 2)))
+		os.FileRead(l.sstFile, base, 64)
+		os.FileWrite(l.sstFile, base, 64)
+	}
+	return l.profile.InstrPerEpoch, l.epoch >= l.profile.TotalEpochs
+}
+
+// --- Redis (Table 2: key-value store, redis-benchmark) ---
+
+// Redis models the in-memory store under the redis benchmark: 4M ops at
+// 80% GET. Every operation moves data through skbuff network slabs
+// (Figure 4 shows Redis's NW-buff share), GETs touch Zipf-popular value
+// pages, SETs dirty them, and the AOF persists appends through the page
+// cache.
+type Redis struct {
+	cfg     Config
+	rng     *sim.RNG
+	profile Profile
+
+	values    *heapRegion
+	aof       guestos.FileID
+	aofCursor uint64
+	epoch     int
+}
+
+// NewRedis builds the Redis model.
+func NewRedis(cfg Config) *Redis {
+	return &Redis{
+		cfg: cfg,
+		rng: sim.NewRNG(cfg.Seed ^ 0x72656469),
+		profile: Profile{
+			Name:          "Redis",
+			Description:   "Key-value store with persistence, redis benchmark, 4M ops, 80% GET",
+			Metric:        "requests/sec",
+			MPKI:          11.1,
+			WSSBytes:      GiB,
+			Threads:       2,
+			MLP:           6,
+			BytesPerMiss:  16,
+			StoreMissFrac: 0.3,
+			InstrPerEpoch: 800_000_000,
+			TotalEpochs:   120,
+			OpsPerEpoch:   4_000_000.0 / 120,
+		},
+	}
+}
+
+// Profile implements Workload.
+func (r *Redis) Profile() Profile { return r.profile }
+
+// Init implements Workload.
+func (r *Redis) Init(os *guestos.OS) error {
+	r.aof = guestos.FileID(16)
+	var err error
+	r.values, err = newHeapRegion(os, r.rng, r.cfg.Pages(3*GiB), r.cfg.Pages(r.profile.WSSBytes), 0.9)
+	return err
+}
+
+// Step implements Workload.
+func (r *Redis) Step(os *guestos.OS) (uint64, bool) {
+	r.epoch++
+	// Network path: request/response buffers for this epoch's ops
+	// (batched: the op count is huge, the buffer churn is what matters).
+	os.NetRecv(48, 2048)
+	if err := r.values.touch(os, touchSamples, 4, r.profile.StoreMissFrac); err != nil {
+		return 0, true
+	}
+	os.NetSend(48, 8192)
+	// AOF persistence for the 20% SETs.
+	os.FileWrite(r.aof, r.aofCursor, 4)
+	r.aofCursor += 4
+	return r.profile.InstrPerEpoch, r.epoch >= r.profile.TotalEpochs
+}
+
+// --- NGinx (Table 2: web server, 1M pages) ---
+
+// Nginx models the web server: Zipf-popular content served from the
+// page cache, skbuff churn per request, and a tiny heap — its <60 MB
+// active working set is why even 9x-slower memory costs it under 10%
+// (Section 2.2), and why the paper omits it from the placement figures.
+type Nginx struct {
+	cfg     Config
+	rng     *sim.RNG
+	profile Profile
+
+	heap    *heapRegion
+	content guestos.FileID
+	zipf    *sim.Zipf
+	epoch   int
+}
+
+// NewNginx builds the NGinx model.
+func NewNginx(cfg Config) *Nginx {
+	return &Nginx{
+		cfg: cfg,
+		rng: sim.NewRNG(cfg.Seed ^ 0x6e67696e),
+		profile: Profile{
+			Name:          "Nginx",
+			Description:   "Webserver serving 1M static, dynamic, image webpages",
+			Metric:        "requests/sec",
+			MPKI:          2.1,
+			WSSBytes:      60 * MiB,
+			Threads:       4,
+			MLP:           10,
+			BytesPerMiss:  8,
+			StoreMissFrac: 0.2,
+			InstrPerEpoch: 700_000_000,
+			TotalEpochs:   40,
+			OpsPerEpoch:   25_000,
+		},
+	}
+}
+
+// Profile implements Workload.
+func (n *Nginx) Profile() Profile { return n.profile }
+
+// Init implements Workload.
+func (n *Nginx) Init(os *guestos.OS) error {
+	n.content = guestos.FileID(17)
+	contentPages := n.cfg.Pages(4 * GiB)
+	n.zipf = sim.NewZipf(n.rng.Fork(), 1.1, int(contentPages))
+	var err error
+	n.heap, err = newHeapRegion(os, n.rng, n.cfg.Pages(128*MiB), n.cfg.Pages(32*MiB), 0.9)
+	return err
+}
+
+// Step implements Workload.
+func (n *Nginx) Step(os *guestos.OS) (uint64, bool) {
+	n.epoch++
+	os.NetRecv(32, 512)
+	for i := 0; i < 64; i++ {
+		off := uint64(n.zipf.Sample())
+		os.FileRead(n.content, off, 1)
+	}
+	os.NetSend(32, 16384)
+	if err := n.heap.touch(os, touchSamples/4, 2, n.profile.StoreMissFrac); err != nil {
+		return 0, true
+	}
+	return n.profile.InstrPerEpoch, n.epoch >= n.profile.TotalEpochs
+}

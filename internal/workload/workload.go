@@ -1,0 +1,265 @@
+// Package workload models the paper's application suite (Table 2):
+// GraphChi, X-Stream, Metis, LevelDB, Redis, and NGinx, plus the memlat
+// and STREAM microbenchmarks of Figures 6 and 7.
+//
+// A workload is a generator of OS-visible behaviour: it mmaps regions,
+// touches pages with the application's locality pattern, performs file
+// and network I/O through the guest kernel's real code paths, and
+// reports its per-epoch instruction count. Instruction-level fidelity is
+// deliberately absent — every metric the paper evaluates is driven by
+// page-level events plus the measured memory intensity (MPKI, Table 4),
+// working-set size, and page-type distribution (Figure 4), which are
+// inputs here.
+//
+// All capacities are expressed in real bytes and divided by the
+// simulation Scale when converted to pages, preserving every ratio the
+// experiments depend on.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"heteroos/internal/guestos"
+	"heteroos/internal/memsim"
+	"heteroos/internal/sim"
+)
+
+// Profile carries a workload's calibrated characteristics.
+type Profile struct {
+	Name        string
+	Description string
+	// Metric is the paper's performance metric for the app.
+	Metric string
+	// MPKI is the LLC misses per kilo-instruction measured on the
+	// reference platform (Table 4).
+	MPKI float64
+	// WSSBytes is the active working set in real (unscaled) bytes; it
+	// drives the LLC model.
+	WSSBytes int64
+	// Threads of runnable workers.
+	Threads int
+	// MLP is sustained memory-level parallelism.
+	MLP float64
+	// BytesPerMiss is traffic amplification per miss (prefetch,
+	// streaming).
+	BytesPerMiss float64
+	// StoreMissFrac is the fraction of misses that are stores.
+	StoreMissFrac float64
+	// InstrPerEpoch is work per epoch across all threads.
+	InstrPerEpoch uint64
+	// TotalEpochs bounds the run.
+	TotalEpochs int
+	// OpsPerEpoch translates epochs to application operations for
+	// throughput metrics (0 for runtime metrics).
+	OpsPerEpoch float64
+}
+
+// Workload is one application instance. Implementations are stateful
+// and single-use: Init once, then Step until done.
+type Workload interface {
+	Profile() Profile
+	// Init sets up address-space regions and initial data.
+	Init(os *guestos.OS) error
+	// Step runs one epoch of application work against the guest OS and
+	// reports instructions retired and whether the run is complete.
+	Step(os *guestos.OS) (instr uint64, done bool)
+}
+
+// Config scales and seeds workload construction.
+type Config struct {
+	// Scale divides all real capacities; it must match the system's
+	// memory scaling so ratios are preserved. Default 64.
+	Scale uint64
+	// Seed derives per-workload RNG streams.
+	Seed uint64
+}
+
+// DefaultScale is the capacity divisor used throughout the experiments:
+// 4 GiB of real memory becomes 16Ki simulated pages.
+const DefaultScale = 64
+
+func (c Config) scale() uint64 {
+	if c.Scale == 0 {
+		return DefaultScale
+	}
+	return c.Scale
+}
+
+// Pages converts real bytes to scaled page counts (minimum 1).
+func (c Config) Pages(bytes int64) uint64 {
+	p := uint64(bytes) / memsim.PageSize / c.scale()
+	if p == 0 {
+		p = 1
+	}
+	return p
+}
+
+// GiB is a capacity literal helper.
+const GiB = int64(1) << 30
+
+// MiB is a capacity literal helper.
+const MiB = int64(1) << 20
+
+// touchSamples is the per-epoch distinct-page sampling budget.
+const touchSamples = 3000
+
+// heapRegion drives locality-distributed touches over one anonymous VMA.
+// The hot window can drift across the region epoch by epoch, modelling
+// the shifting working sets of iterative computations (graph engines
+// sweep vertex ranges; map-reduce moves between partitions). Drift is
+// what makes runtime page movement (LRU recycling, coordinated
+// promotion) matter: a frozen placement decays as yesterday's cold pages
+// become today's hot ones.
+type heapRegion struct {
+	vma      *guestos.VMA
+	rng      *sim.RNG
+	pages    uint64
+	hotPages uint64
+	hotFrac  float64
+	hotStart uint64 // drifting window base
+	drift    uint64 // window advance per epoch, in pages
+	counts   map[guestos.VPN]uint64
+}
+
+func newHeapRegion(os *guestos.OS, rng *sim.RNG, pages, hotPages uint64, hotFrac float64) (*heapRegion, error) {
+	vma, err := os.AS.Mmap(pages, guestos.KindAnon, guestos.NilFile)
+	if err != nil {
+		return nil, err
+	}
+	if hotPages == 0 {
+		hotPages = 1
+	}
+	if hotPages > pages {
+		hotPages = pages
+	}
+	return &heapRegion{
+		vma:      vma,
+		rng:      rng.Fork(),
+		pages:    pages,
+		hotPages: hotPages,
+		hotFrac:  hotFrac,
+		counts:   make(map[guestos.VPN]uint64, touchSamples),
+	}, nil
+}
+
+// setDrift makes the hot window advance by pagesPerEpoch each touch.
+func (h *heapRegion) setDrift(pagesPerEpoch uint64) { h.drift = pagesPerEpoch }
+
+// sample draws one page index and whether it came from the hot window.
+func (h *heapRegion) sample() (uint64, bool) {
+	if h.rng.Bool(h.hotFrac) {
+		return (h.hotStart + uint64(h.rng.Intn(int(h.hotPages)))) % h.pages, true
+	}
+	if h.pages == h.hotPages {
+		return uint64(h.rng.Intn(int(h.pages))), true
+	}
+	off := uint64(h.rng.Intn(int(h.pages - h.hotPages)))
+	return (h.hotStart + h.hotPages + off) % h.pages, false
+}
+
+// touch samples the region's distribution and issues the page touches.
+// accessesPerSample weights hot-window samples; cold-tail samples carry
+// a single access so a stray touch does not read as working-set
+// membership to the LRU. storeFrac splits loads/stores. The hot window
+// then drifts.
+func (h *heapRegion) touch(os *guestos.OS, samples int, accessesPerSample uint64, storeFrac float64) error {
+	for k := range h.counts {
+		delete(h.counts, k)
+	}
+	for i := 0; i < samples; i++ {
+		idx, hot := h.sample()
+		vpn := h.vma.Start + guestos.VPN(idx)
+		if hot {
+			h.counts[vpn] += accessesPerSample
+		} else {
+			h.counts[vpn]++
+		}
+	}
+	// Touch in sorted VPN order: map iteration order is randomized per
+	// process, and fault order decides frame assignment — unsorted
+	// iteration would make whole simulations nondeterministic.
+	vpns := make([]guestos.VPN, 0, len(h.counts))
+	for vpn := range h.counts {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	for _, vpn := range vpns {
+		n := h.counts[vpn]
+		stores := uint64(float64(n) * storeFrac)
+		if _, err := os.TouchVPN(vpn, n-stores, stores); err != nil {
+			return err
+		}
+	}
+	h.hotStart = (h.hotStart + h.drift) % h.pages
+	return nil
+}
+
+// sequentialRegion drives a streaming sweep over a file-mapped VMA.
+type sequentialRegion struct {
+	vma    *guestos.VMA
+	cursor *sim.SequentialWindow
+}
+
+func newSequentialRegion(os *guestos.OS, pages uint64, file guestos.FileID) (*sequentialRegion, error) {
+	vma, err := os.AS.Mmap(pages, guestos.KindPageCache, file)
+	if err != nil {
+		return nil, err
+	}
+	return &sequentialRegion{vma: vma, cursor: sim.NewSequentialWindow(int(pages))}, nil
+}
+
+// sweep touches n consecutive mapped pages (loads only: streamed input).
+func (s *sequentialRegion) sweep(os *guestos.OS, n int, accessesPerPage uint64) error {
+	for i := 0; i < n; i++ {
+		vpn := s.vma.Start + guestos.VPN(s.cursor.Sample())
+		if _, err := os.TouchVPN(vpn, accessesPerPage, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// touchRange re-touches n mapped pages starting at position start
+// (wrapping), for re-processing phases.
+func (s *sequentialRegion) touchRange(os *guestos.OS, start, n int, accessesPerPage uint64) error {
+	span := int(s.vma.Pages)
+	for i := 0; i < n; i++ {
+		vpn := s.vma.Start + guestos.VPN((start+i)%span)
+		if _, err := os.TouchVPN(vpn, accessesPerPage, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ByName constructs a workload by its Table 2 name.
+func ByName(name string, cfg Config) (Workload, error) {
+	switch name {
+	case "GraphChi", "graphchi":
+		return NewGraphChi(cfg), nil
+	case "X-Stream", "xstream":
+		return NewXStream(cfg), nil
+	case "Metis", "metis":
+		return NewMetis(cfg), nil
+	case "LevelDB", "leveldb":
+		return NewLevelDB(cfg), nil
+	case "Redis", "redis":
+		return NewRedis(cfg), nil
+	case "Nginx", "NGinx", "nginx":
+		return NewNginx(cfg), nil
+	case "memlat":
+		return NewMemLat(cfg, 512*MiB), nil
+	case "stream":
+		return NewStream(cfg, 512*MiB), nil
+	case "writeheavy":
+		return NewWriteHeavy(cfg, 512*MiB), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown application %q", name)
+	}
+}
+
+// Names lists the datacenter applications in Table 2 order.
+func Names() []string {
+	return []string{"GraphChi", "X-Stream", "Metis", "LevelDB", "Redis", "Nginx"}
+}
