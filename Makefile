@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench figures
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The runner and core are the concurrency-bearing packages: the worker
+# pool, futures, progress callbacks, and per-epoch context checks all
+# live there, so they get a dedicated race pass.
+race:
+	$(GO) test -race ./internal/runner ./internal/core
+
+# check is the pre-commit gate: static analysis, full build, the full
+# test suite, and the race detector over the concurrent packages.
+check: vet build test race
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x .
+
+figures:
+	$(GO) run ./cmd/heterobench -quick

@@ -13,6 +13,8 @@
 package heteroos
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"heteroos/internal/core"
@@ -20,20 +22,28 @@ import (
 	"heteroos/internal/guestos"
 	"heteroos/internal/memsim"
 	"heteroos/internal/policy"
+	"heteroos/internal/runner"
 	"heteroos/internal/sim"
 	"heteroos/internal/vmm"
 	"heteroos/internal/workload"
 )
 
-// benchExperiment regenerates one registry artifact per iteration.
+// benchExperiment regenerates one registry artifact per iteration. The
+// sweep cells fan out through internal/runner on a GOMAXPROCS-wide
+// worker pool.
 func benchExperiment(b *testing.B, id string, quick bool) {
+	b.Helper()
+	benchExperimentWorkers(b, id, quick, 0)
+}
+
+func benchExperimentWorkers(b *testing.B, id string, quick bool, workers int) {
 	b.Helper()
 	e, ok := exp.ByID(id)
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := e.Run(exp.Options{Seed: 1, Quick: quick})
+		res, err := e.Run(context.Background(), exp.Options{Seed: 1, Quick: quick, Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -354,3 +364,61 @@ func BenchmarkAblationWriteAwareMigration(b *testing.B) {
 
 // BenchmarkExtNVMWriteAware regenerates the Section 4.3 extension study.
 func BenchmarkExtNVMWriteAware(b *testing.B) { benchExperiment(b, "ext-nvm", true) }
+
+// --- Runner: sweep scaling ---
+
+// The Figure 9 sweep regenerated serially vs on the full worker pool —
+// the before/after of the concurrent sweep engine.
+func BenchmarkSweepFigure9Workers1(b *testing.B) {
+	benchExperimentWorkers(b, "figure9", true, 1)
+}
+
+func BenchmarkSweepFigure9WorkersMax(b *testing.B) {
+	benchExperimentWorkers(b, "figure9", true, runtime.GOMAXPROCS(0))
+}
+
+// benchRunnerBatch pushes a fixed batch of memlat simulations through
+// the runner at the given worker count.
+func benchRunnerBatch(b *testing.B, workers int) {
+	b.Helper()
+	var jobs []runner.Job
+	for i := 0; i < 8; i++ {
+		w, err := workload.ByName("memlat", workload.Config{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = append(jobs, runner.Job{
+			Label: "memlat" + itoa(i),
+			Cfg: core.Config{
+				FastFrames: 4096 + 16384 + 1024,
+				SlowFrames: 16384 + 1024,
+				Seed:       uint64(i + 1),
+				VMs: []core.VMConfig{{
+					ID: 1, Mode: policy.HeteroOSLRU(), Workload: w,
+					FastPages: 4096, SlowPages: 16384,
+				}},
+			},
+		})
+	}
+	results, err := runner.Run(context.Background(), jobs, runner.Options{Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			b.Fatalf("%s: %v", r.Label, r.Err)
+		}
+	}
+}
+
+func BenchmarkRunnerBatchWorkers1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchRunnerBatch(b, 1)
+	}
+}
+
+func BenchmarkRunnerBatchWorkersMax(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchRunnerBatch(b, runtime.GOMAXPROCS(0))
+	}
+}

@@ -1,18 +1,25 @@
 // Command heterobench regenerates the paper's evaluation artifacts: one
-// experiment per table and figure, printed as text tables.
+// experiment per table and figure, printed as text tables. Sweeps run
+// concurrently on a bounded worker pool; Ctrl-C cancels the batch
+// within one simulation epoch per in-flight job.
 //
 // Usage:
 //
 //	heterobench -exp figure9            # one experiment
 //	heterobench -exp all                # everything, paper order
 //	heterobench -exp figure1 -quick     # reduced sweep for smoke runs
+//	heterobench -exp all -workers 4     # bound the worker pool
+//	heterobench -exp figure9 -progress  # per-simulation progress on stderr
 //	heterobench -list                   # enumerate experiment ids
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"heteroos/internal/exp"
@@ -20,11 +27,13 @@ import (
 
 func main() {
 	var (
-		expID  = flag.String("exp", "all", "experiment id (table1..table6, figure1..figure13) or 'all'")
-		quick  = flag.Bool("quick", false, "run reduced sweeps")
-		seed   = flag.Uint64("seed", 1, "simulation seed")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		format = flag.String("format", "text", "output format: text, markdown, csv")
+		expID    = flag.String("exp", "all", "experiment id (table1..table6, figure1..figure13) or 'all'")
+		quick    = flag.Bool("quick", false, "run reduced sweeps")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		workers  = flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "report per-simulation progress on stderr")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		format   = flag.String("format", "text", "output format: text, markdown, csv")
 	)
 	flag.Parse()
 
@@ -35,7 +44,15 @@ func main() {
 		return
 	}
 
-	opts := exp.Options{Seed: *seed, Quick: *quick}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := exp.Options{Seed: *seed, Quick: *quick, Workers: *workers}
+	if *progress {
+		opts.Progress = func(done, submitted int, label string) {
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s\n", done, submitted, label)
+		}
+	}
 	var todo []exp.Experiment
 	if *expID == "all" {
 		todo = exp.Registry()
@@ -50,8 +67,12 @@ func main() {
 
 	for _, e := range todo {
 		start := time.Now()
-		res, err := e.Run(opts)
+		res, err := e.Run(ctx, opts)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "heterobench: %s: interrupted\n", e.ID)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "heterobench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +35,7 @@ func main() {
 	}
 	for _, n := range order {
 		e, _ := exp.ByID(ids[n])
-		res, err := e.Run(exp.Options{})
+		res, err := e.Run(context.Background(), exp.Options{})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "heteroinfo:", err)
 			os.Exit(1)

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"heteroos/internal/core"
 	"heteroos/internal/memsim"
@@ -38,9 +41,9 @@ func main() {
 		return
 	}
 
-	mode, ok := policy.ByName(*modeName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "heterosim: unknown mode %q; try -modes\n", *modeName)
+	mode, err := policy.ByName(*modeName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "heterosim: %v; try -modes\n", err)
 		os.Exit(2)
 	}
 	w, err := workload.ByName(*app, workload.Config{Seed: *seed})
@@ -65,8 +68,15 @@ func main() {
 			FastPages: fast, SlowPages: slow,
 		}},
 	}
-	res, sys, err := core.RunSingle(cfg)
+	// Ctrl-C cancels the run at the next simulation epoch.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, sys, err := core.RunSingleContext(ctx, cfg)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "heterosim: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "heterosim:", err)
 		os.Exit(1)
 	}

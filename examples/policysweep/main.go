@@ -1,42 +1,46 @@
 // Policy sweep: run one application across every management mode and
 // several FastMem capacity ratios, printing a Figure-9-style gains
-// table. Demonstrates how to drive systematic comparisons through the
-// public API.
+// table. Demonstrates the batch-first driving pattern: all sweep cells
+// go to internal/runner as one job slice, execute concurrently on a
+// bounded worker pool, and come back in input order.
 //
 //	go run ./examples/policysweep            # GraphChi
 //	go run ./examples/policysweep X-Stream   # any Table 2 app
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"heteroos/internal/core"
 	"heteroos/internal/metrics"
 	"heteroos/internal/policy"
+	"heteroos/internal/runner"
 	"heteroos/internal/workload"
 )
 
-func run(app string, mode policy.Mode, fastPages uint64) *core.VMResult {
+// job builds one sweep cell: app under mode with fastPages of FastMem.
+func job(app string, mode policy.Mode, fastPages uint64) runner.Job {
 	w, err := workload.ByName(app, workload.Config{Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
 	slow := workload.Config{}.Pages(8 * workload.GiB)
-	res, _, err := core.RunSingle(core.Config{
-		FastFrames: fastPages + slow + 8192,
-		SlowFrames: slow + 8192,
-		Seed:       7,
-		VMs: []core.VMConfig{{
-			ID: 1, Mode: mode, Workload: w,
-			FastPages: fastPages, SlowPages: slow,
-		}},
-	})
-	if err != nil {
-		log.Fatalf("%s/%s: %v", app, mode.Name, err)
+	return runner.Job{
+		Label: fmt.Sprintf("%s/%s/fast=%d", app, mode.Name, fastPages),
+		Cfg: core.Config{
+			FastFrames: fastPages + slow + 8192,
+			SlowFrames: slow + 8192,
+			Seed:       7,
+			VMs: []core.VMConfig{{
+				ID: 1, Mode: mode, Workload: w,
+				FastPages: fastPages, SlowPages: slow,
+			}},
+		},
 	}
-	return res
 }
 
 func main() {
@@ -49,8 +53,30 @@ func main() {
 		policy.HeapOD(), policy.HeapIOSlabOD(), policy.HeteroOSLRU(),
 		policy.VMMExclusive(), policy.HeteroOSCoordinated(),
 	}
+	dens := []uint64{2, 4, 8}
 
-	base := run(app, policy.SlowMemOnly(), 0)
+	// One job slice: the SlowMem-only baseline first, then every
+	// ratio × mode cell. Results come back at the same indices.
+	jobs := []runner.Job{job(app, policy.SlowMemOnly(), 0)}
+	for _, den := range dens {
+		for _, m := range modes {
+			jobs = append(jobs, job(app, m, slow/den))
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results, err := runner.Run(ctx, jobs, runner.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatalf("%s: %v", r.Label, r.Err)
+		}
+	}
+
+	base := results[0].Res
 	fmt.Printf("%s: SlowMem-only baseline %.2f s\n\n", app, base.RuntimeSeconds())
 
 	header := []string{"Ratio"}
@@ -58,10 +84,12 @@ func main() {
 		header = append(header, m.Name)
 	}
 	t := metrics.NewTable(fmt.Sprintf("%s gains (%%) vs SlowMem-only", app), header...)
-	for _, den := range []uint64{2, 4, 8} {
+	next := 1
+	for _, den := range dens {
 		row := []interface{}{fmt.Sprintf("1/%d", den)}
-		for _, m := range modes {
-			r := run(app, m, slow/den)
+		for range modes {
+			r := results[next].Res
+			next++
 			row = append(row, metrics.GainPercent(base.RuntimeSeconds(), r.RuntimeSeconds()))
 		}
 		t.AddRow(row...)

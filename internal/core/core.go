@@ -9,6 +9,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"heteroos/internal/guestos"
@@ -132,6 +133,73 @@ func (c *Config) applyDefaults() {
 	}
 }
 
+// effectiveSpans resolves a VM's per-tier capacity after the mode's
+// baseline overrides (NoFastMem zeroes FastMem; AllFastMem folds both
+// spans into one FastMem span).
+func (vc *VMConfig) effectiveSpans() (fast, slow uint64) {
+	fast, slow = vc.FastPages, vc.SlowPages
+	switch {
+	case vc.Mode.NoFastMem:
+		fast = 0
+	case vc.Mode.AllFastMem:
+		fast = fast + slow
+	}
+	return fast, slow
+}
+
+// Validate rejects impossible configurations with descriptive errors
+// before any machinery boots, instead of letting them surface as
+// confusing mid-run failures. NewSystem calls it after defaults are
+// applied; callers holding a hand-built Config may also call it
+// directly (zero knobs that applyDefaults would fill are accepted).
+func (c *Config) Validate() error {
+	if c.FastFrames == 0 && c.SlowFrames == 0 {
+		return errors.New("core: machine has zero memory frames")
+	}
+	if c.MaxEpochs < 0 {
+		return fmt.Errorf("core: negative MaxEpochs %d", c.MaxEpochs)
+	}
+	if c.CostScale < 0 {
+		return fmt.Errorf("core: negative CostScale %g", c.CostScale)
+	}
+	if c.ScanEveryEpochs < 0 || c.ScanBatchPages < 0 || c.MaxMovesPerPass < 0 || c.CoordMovesPerEpoch < 0 {
+		return fmt.Errorf("core: negative scan/migration knob (ScanEveryEpochs=%d ScanBatchPages=%d MaxMovesPerPass=%d CoordMovesPerEpoch=%d)",
+			c.ScanEveryEpochs, c.ScanBatchPages, c.MaxMovesPerPass, c.CoordMovesPerEpoch)
+	}
+	switch c.Share {
+	case "", ShareStatic, ShareMaxMin, ShareDRF:
+	default:
+		return fmt.Errorf("core: unknown share policy %q", c.Share)
+	}
+	if len(c.VMs) == 0 {
+		return errors.New("core: no VMs configured")
+	}
+	seen := make(map[vmm.VMID]bool, len(c.VMs))
+	for i := range c.VMs {
+		vc := &c.VMs[i]
+		if vc.Workload == nil {
+			return fmt.Errorf("core: VM %d has no workload", vc.ID)
+		}
+		if seen[vc.ID] {
+			return fmt.Errorf("core: duplicate VM ID %d", vc.ID)
+		}
+		seen[vc.ID] = true
+		fast, slow := vc.effectiveSpans()
+		if fast+slow == 0 {
+			return fmt.Errorf("core: VM %d has a zero memory span", vc.ID)
+		}
+		if fast > c.FastFrames {
+			return fmt.Errorf("core: VM %d FastMem span %d pages exceeds machine FastFrames %d (mode %s)",
+				vc.ID, fast, c.FastFrames, vc.Mode.Name)
+		}
+		if slow > c.SlowFrames {
+			return fmt.Errorf("core: VM %d SlowMem span %d pages exceeds machine SlowFrames %d (mode %s)",
+				vc.ID, slow, c.SlowFrames, vc.Mode.Name)
+		}
+	}
+	return nil
+}
+
 // VMInstance is one running guest.
 type VMInstance struct {
 	ID   vmm.VMID
@@ -228,11 +296,14 @@ type System struct {
 	drf     *vmm.DRFShare // non-nil when Share == ShareDRF
 }
 
-// NewSystem builds and boots a system.
+// NewSystem builds and boots a system. The config is validated first:
+// impossible shapes (zero frames, VM spans exceeding the machine,
+// duplicate VM IDs) fail here with descriptive errors rather than as
+// confusing mid-run failures.
 func NewSystem(cfg Config) (*System, error) {
 	cfg.applyDefaults()
-	if len(cfg.VMs) == 0 {
-		return nil, fmt.Errorf("core: no VMs configured")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	s := &System{Cfg: cfg}
 	s.Machine = memsim.NewMachine(cfg.FastFrames, cfg.SlowFrames, cfg.FastSpec, cfg.SlowSpec)

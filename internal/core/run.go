@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"heteroos/internal/guestos"
@@ -10,15 +12,31 @@ import (
 	"heteroos/internal/vmm"
 )
 
+// Sentinel run errors. Callers match them with errors.Is; the wrapped
+// message carries the VM and epoch context.
+var (
+	// ErrWorkloadStalled reports a workload Step that retired no
+	// instructions without declaring completion.
+	ErrWorkloadStalled = errors.New("workload stalled")
+	// ErrEpochBudget reports a run that exhausted Config.MaxEpochs
+	// before every VM finished.
+	ErrEpochBudget = errors.New("epoch budget exhausted")
+)
+
 // maxScanPassesPerEpoch bounds timer-driven scan passes charged within
 // one epoch, so a pathologically slow epoch cannot stall the simulation.
 const maxScanPassesPerEpoch = 64
 
-// Run executes all VMs to completion (or MaxEpochs), advancing each VM's
-// virtual clock per epoch. VMs step in lockstep so multi-VM memory
-// contention (grants, ballooning, DRF) interleaves realistically.
-func (s *System) Run() error {
+// RunContext executes all VMs to completion (or MaxEpochs), advancing
+// each VM's virtual clock per epoch. VMs step in lockstep so multi-VM
+// memory contention (grants, ballooning, DRF) interleaves realistically.
+// Cancellation is checked once per epoch: a cancelled context stops the
+// run within one epoch and returns ctx.Err().
+func (s *System) RunContext(ctx context.Context) error {
 	for epoch := 0; epoch < s.Cfg.MaxEpochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		alive := false
 		for _, inst := range s.VMs {
 			if inst.Done {
@@ -35,11 +53,15 @@ func (s *System) Run() error {
 	}
 	for _, inst := range s.VMs {
 		if !inst.Done {
-			return fmt.Errorf("core: VM %d did not finish within %d epochs", inst.ID, s.Cfg.MaxEpochs)
+			return fmt.Errorf("core: VM %d did not finish within %d epochs: %w",
+				inst.ID, s.Cfg.MaxEpochs, ErrEpochBudget)
 		}
 	}
 	return nil
 }
+
+// Run is RunContext with a background (never-cancelled) context.
+func (s *System) Run() error { return s.RunContext(context.Background()) }
 
 // stepVM advances one VM by one epoch.
 func (s *System) stepVM(inst *VMInstance) error {
@@ -48,7 +70,7 @@ func (s *System) stepVM(inst *VMInstance) error {
 	// 1. Application work against the guest OS.
 	instr, done := inst.W.Step(inst.OS)
 	if instr == 0 && !done {
-		return fmt.Errorf("workload stalled")
+		return ErrWorkloadStalled
 	}
 
 	// 2. Guest epoch maintenance first: watermark reclaim restores the
@@ -237,9 +259,9 @@ func sumKinds(a [guestos.NumKinds]uint64) uint64 {
 	return n
 }
 
-// RunSingle is a convenience wrapper: build a one-VM system, run it, and
-// return the VM's result.
-func RunSingle(cfg Config) (*VMResult, *System, error) {
+// RunSingleContext is a convenience wrapper: build a one-VM system, run
+// it under ctx, and return the VM's result.
+func RunSingleContext(ctx context.Context, cfg Config) (*VMResult, *System, error) {
 	if len(cfg.VMs) != 1 {
 		return nil, nil, fmt.Errorf("core: RunSingle needs exactly one VM")
 	}
@@ -247,11 +269,16 @@ func RunSingle(cfg Config) (*VMResult, *System, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := sys.Run(); err != nil {
+	if err := sys.RunContext(ctx); err != nil {
 		return nil, sys, err
 	}
 	if err := sys.CheckInvariants(); err != nil {
 		return nil, sys, err
 	}
 	return &sys.VMs[0].Res, sys, nil
+}
+
+// RunSingle is RunSingleContext with a background context.
+func RunSingle(cfg Config) (*VMResult, *System, error) {
+	return RunSingleContext(context.Background(), cfg)
 }

@@ -6,9 +6,17 @@
 // Absolute numbers come from the simulator, not the authors' testbed;
 // the reproduction target is the shape — orderings, approximate factors,
 // crossover locations — recorded against the paper in EXPERIMENTS.md.
+//
+// Every sweep-style experiment executes through internal/runner: the
+// figure function submits all of its cells up front, the runner fans
+// them out across a bounded worker pool, and the table is assembled
+// from the futures in submission order — so output is byte-identical to
+// a serial loop at any worker count, and a cancelled context aborts the
+// sweep within one epoch per in-flight simulation.
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -16,6 +24,7 @@ import (
 	"heteroos/internal/memsim"
 	"heteroos/internal/metrics"
 	"heteroos/internal/policy"
+	"heteroos/internal/runner"
 	"heteroos/internal/workload"
 )
 
@@ -25,6 +34,13 @@ type Options struct {
 	Seed uint64
 	// Quick shrinks sweeps (fewer apps / points) for fast test runs.
 	Quick bool
+	// Workers bounds concurrent simulations per experiment
+	// (<=0: GOMAXPROCS).
+	Workers int
+	// Progress, when set, is invoked after each simulation of a sweep
+	// completes with the counts of finished and submitted cells and the
+	// finished cell's label.
+	Progress func(done, submitted int, label string)
 }
 
 func (o Options) seed() uint64 {
@@ -41,11 +57,12 @@ type Result struct {
 	Notes string
 }
 
-// Experiment couples an identifier with its runner.
+// Experiment couples an identifier with its runner. Run executes under
+// ctx: cancellation aborts the underlying sweep promptly.
 type Experiment struct {
 	ID          string
 	Description string
-	Run         func(Options) (*Result, error)
+	Run         func(ctx context.Context, o Options) (*Result, error)
 }
 
 // Registry lists every experiment in paper order.
@@ -111,13 +128,68 @@ var (
 	slowVM = pages(8 * workload.GiB)
 )
 
-// runOne executes one app under one mode at the given FastMem size and
-// tier/LLC configuration.
-func runOne(o Options, app string, mode policy.Mode, fastPages uint64,
-	slowSpec memsim.TierSpec, llc memsim.LLC) (*core.VMResult, error) {
-	w, err := workload.ByName(app, wcfg(o))
+// sweep owns one experiment's worker pool. Figures submit every cell
+// first (submitOne/submitDefault/submitCfg), then collect results in
+// table order — the pool overlaps the simulations in between.
+type sweep struct {
+	o    Options
+	pool *runner.Pool
+}
+
+func newSweep(ctx context.Context, o Options) *sweep {
+	ropts := runner.Options{Workers: o.Workers}
+	if o.Progress != nil {
+		ropts.Progress = func(done, submitted int, r runner.Result) {
+			o.Progress(done, submitted, r.Label)
+		}
+	}
+	return &sweep{o: o, pool: runner.NewPool(ctx, ropts)}
+}
+
+// cell is one pending simulation of a sweep.
+type cell struct {
+	fut   *runner.Future
+	err   error // submission-time failure (e.g. unknown app)
+	label string
+}
+
+// result waits for the cell's single-VM result.
+func (c cell) result() (*core.VMResult, error) {
+	if c.err != nil {
+		return nil, fmt.Errorf("%s: %w", c.label, c.err)
+	}
+	res, _, err := c.fut.Wait()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%s: %w", c.label, err)
+	}
+	return res, nil
+}
+
+// system waits for the cell's completed system (multi-VM consumers).
+func (c cell) system() (*core.System, error) {
+	if c.err != nil {
+		return nil, fmt.Errorf("%s: %w", c.label, c.err)
+	}
+	_, sys, err := c.fut.Wait()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", c.label, err)
+	}
+	return sys, nil
+}
+
+// submitCfg queues an arbitrary prebuilt configuration.
+func (s *sweep) submitCfg(label string, cfg core.Config) cell {
+	return cell{fut: s.pool.Submit(label, cfg), label: label}
+}
+
+// submitOne queues one app under one mode at the given FastMem size and
+// tier/LLC configuration.
+func (s *sweep) submitOne(app string, mode policy.Mode, fastPages uint64,
+	slowSpec memsim.TierSpec, llc memsim.LLC) cell {
+	label := fmt.Sprintf("%s/%s", app, mode.Name)
+	w, err := workload.ByName(app, wcfg(s.o))
+	if err != nil {
+		return cell{err: err, label: label}
 	}
 	cfg := core.Config{
 		// The machine holds whatever the VM may need; AllFastMem needs
@@ -126,22 +198,19 @@ func runOne(o Options, app string, mode policy.Mode, fastPages uint64,
 		SlowFrames: slowVM + 8192,
 		SlowSpec:   slowSpec,
 		LLC:        llc,
-		Seed:       o.seed(),
+		Seed:       s.o.seed(),
 		VMs: []core.VMConfig{{
 			ID: 1, Mode: mode, Workload: w,
 			FastPages: fastPages, SlowPages: slowVM,
 		}},
 	}
-	res, _, err := core.RunSingle(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%s/%s: %w", app, mode.Name, err)
-	}
-	return res, nil
+	return s.submitCfg(label, cfg)
 }
 
-// runDefault uses the paper's main SlowMem (L:5,B:9) and reference LLC.
-func runDefault(o Options, app string, mode policy.Mode, fastPages uint64) (*core.VMResult, error) {
-	return runOne(o, app, mode, fastPages, memsim.SlowTierSpec(), memsim.DefaultLLC())
+// submitDefault uses the paper's main SlowMem (L:5,B:9) and reference
+// LLC.
+func (s *sweep) submitDefault(app string, mode policy.Mode, fastPages uint64) cell {
+	return s.submitOne(app, mode, fastPages, memsim.SlowTierSpec(), memsim.DefaultLLC())
 }
 
 // evalApps returns the application list the placement figures use

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -36,7 +37,7 @@ func TestRegistryComplete(t *testing.T) {
 func TestStaticTables(t *testing.T) {
 	// The data-catalog tables run instantly and must match the paper's
 	// published values.
-	r, err := Table1(quick())
+	r, err := Table1(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestStaticTables(t *testing.T) {
 		t.Fatalf("NVM load latency cell = %q", got)
 	}
 
-	r, err = Table3(quick())
+	r, err = Table3(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestStaticTables(t *testing.T) {
 		t.Fatalf("L:5,B:12 latency cell = %q", got)
 	}
 
-	r, err = Table6(quick())
+	r, err = Table6(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,14 +72,14 @@ func TestStaticTables(t *testing.T) {
 }
 
 func TestTable2And5FromRegistries(t *testing.T) {
-	r, err := Table2(quick())
+	r, err := Table2(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.Table.Rows() != 6 {
 		t.Fatalf("table2 rows = %d", r.Table.Rows())
 	}
-	r, err = Table5(quick())
+	r, err = Table5(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestTable2And5FromRegistries(t *testing.T) {
 }
 
 func TestTable4MPKI(t *testing.T) {
-	r, err := Table4(quick())
+	r, err := Table4(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestTable4MPKI(t *testing.T) {
 	}
 }
 
-func cell(t *testing.T, r *Result, row, col int) float64 {
+func numCell(t *testing.T, r *Result, row, col int) float64 {
 	t.Helper()
 	raw := r.Table.Cell(row, col)
 	raw = strings.Fields(raw)[0]
@@ -116,15 +117,15 @@ func TestFigure1Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
-	r, err := Figure1(quick())
+	r, err := Figure1(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Quick mode: GraphChi, LevelDB over {L2B2, L5B9} + remote NUMA.
 	for row := 0; row < r.Table.Rows(); row++ {
-		mild := cell(t, r, row, 1)
-		harsh := cell(t, r, row, 2)
-		remote := cell(t, r, row, 3)
+		mild := numCell(t, r, row, 1)
+		harsh := numCell(t, r, row, 2)
+		remote := numCell(t, r, row, 3)
 		if !(mild >= 1 && harsh > mild) {
 			t.Errorf("row %d: slowdowns not monotone: %v, %v", row, mild, harsh)
 		}
@@ -135,7 +136,7 @@ func TestFigure1Shape(t *testing.T) {
 		}
 	}
 	// GraphChi (memory-intensive) suffers more than LevelDB.
-	if !(cell(t, r, 0, 2) > cell(t, r, 1, 2)) {
+	if !(numCell(t, r, 0, 2) > numCell(t, r, 1, 2)) {
 		t.Error("GraphChi should be more sensitive than LevelDB")
 	}
 }
@@ -144,18 +145,18 @@ func TestFigure2LargerLLCReducesSlowdown(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
-	f1, err := Figure1(quick())
+	f1, err := Figure1(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
-	f2, err := Figure2(quick())
+	f2, err := Figure2(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The 48 MB LLC absorbs more traffic: slowdown at the harsh point
 	// must not exceed the 16 MB platform's.
 	for row := 0; row < f2.Table.Rows(); row++ {
-		if cell(t, f2, row, 2) > cell(t, f1, row, 2)+0.05 {
+		if numCell(t, f2, row, 2) > numCell(t, f1, row, 2)+0.05 {
 			t.Errorf("row %d: larger LLC increased slowdown", row)
 		}
 	}
@@ -165,13 +166,13 @@ func TestFigure3CapacityMonotone(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
-	r, err := Figure3(quick())
+	r, err := Figure3(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for row := 0; row < r.Table.Rows(); row++ {
-		half := cell(t, r, row, 1)
-		eighth := cell(t, r, row, 2)
+		half := numCell(t, r, row, 1)
+		eighth := numCell(t, r, row, 2)
 		if !(half >= 0.95 && eighth >= half-0.05) {
 			t.Errorf("row %d: capacity slowdown not monotone: 1/2=%v 1/8=%v", row, half, eighth)
 		}
@@ -182,14 +183,14 @@ func TestFigure4Distribution(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
-	r, err := Figure4(quick())
+	r, err := Figure4(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Quick mode rows: Redis, LevelDB.
 	// Redis is NW-buff heavy; LevelDB is I/O-cache heavy (Figure 4).
-	redisNW := cell(t, r, 0, 3)
-	ldbIO := cell(t, r, 1, 2)
+	redisNW := numCell(t, r, 0, 3)
+	ldbIO := numCell(t, r, 1, 2)
 	if redisNW < 5 {
 		t.Errorf("Redis NW-buff share = %v%%, want substantial", redisNW)
 	}
@@ -200,7 +201,7 @@ func TestFigure4Distribution(t *testing.T) {
 	for row := 0; row < r.Table.Rows(); row++ {
 		sum := 0.0
 		for col := 1; col <= 5; col++ {
-			sum += cell(t, r, row, col)
+			sum += numCell(t, r, row, col)
 		}
 		if sum < 99 || sum > 101 {
 			t.Errorf("row %d shares sum to %v", row, sum)
@@ -212,15 +213,15 @@ func TestFigure6LatencyShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
-	r, err := Figure6(quick())
+	r, err := Figure6(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Rows: SlowMem-only, Random, Heap-OD, FastMem-only, VMM-exclusive.
 	// Columns (quick): 0.25GB, 1GB.
-	slowSmall, slowBig := cell(t, r, 0, 1), cell(t, r, 0, 2)
-	heapODSmall, heapODBig := cell(t, r, 2, 1), cell(t, r, 2, 2)
-	fastSmall, fastBig := cell(t, r, 3, 1), cell(t, r, 3, 2)
+	slowSmall, slowBig := numCell(t, r, 0, 1), numCell(t, r, 0, 2)
+	heapODSmall, heapODBig := numCell(t, r, 2, 1), numCell(t, r, 2, 2)
+	fastSmall, fastBig := numCell(t, r, 3, 1), numCell(t, r, 3, 2)
 	// FastMem-only is the floor; SlowMem-only the ceiling.
 	if !(fastSmall < heapODSmall*1.05 && heapODSmall < slowSmall) {
 		t.Errorf("0.25GB ordering wrong: fast=%v heapOD=%v slow=%v", fastSmall, heapODSmall, slowSmall)
@@ -239,22 +240,22 @@ func TestFigure7BandwidthShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
-	r, err := Figure7(quick())
+	r, err := Figure7(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// FastMem-only bandwidth far exceeds SlowMem-only at both sizes.
 	for col := 1; col <= 2; col++ {
-		slow := cell(t, r, 0, col)
-		fast := cell(t, r, 3, col)
+		slow := numCell(t, r, 0, col)
+		fast := numCell(t, r, 3, col)
 		if !(fast > 3*slow) {
 			t.Errorf("col %d: fast bw %v not >> slow bw %v", col, fast, slow)
 		}
 	}
 	// Heap-OD at 0.5GB (fits FastMem) approaches FastMem-only.
-	if cell(t, r, 2, 1) < cell(t, r, 3, 1)*0.7 {
+	if numCell(t, r, 2, 1) < numCell(t, r, 3, 1)*0.7 {
 		t.Errorf("Heap-OD small-WSS bandwidth too low: %v vs %v",
-			cell(t, r, 2, 1), cell(t, r, 3, 1))
+			numCell(t, r, 2, 1), numCell(t, r, 3, 1))
 	}
 }
 
@@ -262,21 +263,21 @@ func TestFigure8OverheadShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
-	r, err := Figure8(quick())
+	r, err := Figure8(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Overhead falls as the scan interval grows (100ms vs 500ms), and
 	// the 100ms point sits in the paper's heavyweight band.
-	o100 := cell(t, r, 0, 3)
-	o500 := cell(t, r, 1, 3)
+	o100 := numCell(t, r, 0, 3)
+	o500 := numCell(t, r, 1, 3)
 	if !(o100 > o500) {
 		t.Errorf("overhead not decreasing with interval: %v vs %v", o100, o500)
 	}
 	if o100 < 10 || o100 > 75 {
 		t.Errorf("100ms overhead %v%% outside plausible band", o100)
 	}
-	if cell(t, r, 0, 4) <= 0 {
+	if numCell(t, r, 0, 4) <= 0 {
 		t.Error("no pages migrated")
 	}
 }
@@ -285,7 +286,7 @@ func TestFigure9PlacementShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
-	r, err := Figure9(quick())
+	r, err := Figure9(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,8 +294,8 @@ func TestFigure9PlacementShape(t *testing.T) {
 	// Columns: app, ratio, Heap-OD, Heap-IO-Slab-OD, HeteroOS-LRU,
 	// NUMA-preferred, FastMem-only.
 	for row := 0; row < r.Table.Rows(); row++ {
-		heapOD := cell(t, r, row, 2)
-		ideal := cell(t, r, row, 6)
+		heapOD := numCell(t, r, row, 2)
+		ideal := numCell(t, r, row, 6)
 		if heapOD <= 0 {
 			t.Errorf("row %d: Heap-OD gains %v not positive", row, heapOD)
 		}
@@ -303,11 +304,11 @@ func TestFigure9PlacementShape(t *testing.T) {
 		}
 	}
 	// LevelDB (row 1): I/O prioritisation must beat heap-only placement.
-	if !(cell(t, r, 1, 3) > cell(t, r, 1, 2)) {
+	if !(numCell(t, r, 1, 3) > numCell(t, r, 1, 2)) {
 		t.Error("LevelDB: Heap-IO-Slab-OD should beat Heap-OD")
 	}
 	// GraphChi (row 0): HeteroOS-LRU must beat plain placement.
-	if !(cell(t, r, 0, 4) > cell(t, r, 0, 3)) {
+	if !(numCell(t, r, 0, 4) > numCell(t, r, 0, 3)) {
 		t.Error("GraphChi: HeteroOS-LRU should beat Heap-IO-Slab-OD")
 	}
 }
@@ -316,20 +317,20 @@ func TestFigure10MissRatio(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
-	r, err := Figure10(quick())
+	r, err := Figure10(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for row := 0; row < r.Table.Rows(); row++ {
 		for col := 1; col <= 4; col++ {
-			v := cell(t, r, row, col)
+			v := numCell(t, r, row, col)
 			if v < 0 || v > 1 {
 				t.Errorf("miss ratio out of range: %v", v)
 			}
 		}
 		// HeteroOS-LRU reclaims, so its miss ratio undercuts plain
 		// on-demand placement (Figure 10's headline).
-		if !(cell(t, r, row, 3) <= cell(t, r, row, 2)+0.02) {
+		if !(numCell(t, r, row, 3) <= numCell(t, r, row, 2)+0.02) {
 			t.Errorf("row %d: LRU miss ratio above Heap-IO-Slab-OD", row)
 		}
 	}
@@ -339,14 +340,14 @@ func TestFigure11CoordinatedShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
-	r, err := Figure11(quick())
+	r, err := Figure11(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// GraphChi at 1/4 (row 0): coordinated beats VMM-exclusive.
-	lru := cell(t, r, 0, 2)
-	vmm := cell(t, r, 0, 3)
-	coord := cell(t, r, 0, 4)
+	lru := numCell(t, r, 0, 2)
+	vmm := numCell(t, r, 0, 3)
+	coord := numCell(t, r, 0, 4)
 	if !(coord > vmm*0.9) {
 		t.Errorf("coordinated (%v) should not trail VMM-exclusive (%v) badly", coord, vmm)
 	}
@@ -359,7 +360,7 @@ func TestFigure12MigrationAccounting(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
-	r, err := Figure12(quick())
+	r, err := Figure12(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,15 +394,15 @@ func TestExtNVMWriteAwareWins(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
-	r, err := ExtNVM(quick())
+	r, err := ExtNVM(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// gain % positive and extra promotions > 0 at the contended size.
-	if g := cell(t, r, 0, 3); g <= 0 {
+	if g := numCell(t, r, 0, 3); g <= 0 {
 		t.Errorf("write-aware gain %v not positive", g)
 	}
-	if extra := cell(t, r, 0, 4); extra <= 0 {
+	if extra := numCell(t, r, 0, 4); extra <= 0 {
 		t.Errorf("no extra promotions (%v) — write tracking inert", extra)
 	}
 }
@@ -410,15 +411,15 @@ func TestFigure13DRFProtectsVictim(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
-	r, err := Figure13(Options{Seed: 1})
+	r, err := Figure13(context.Background(), Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Rows: GraphChi VM, Metis VM. Columns: VMM-exclusive, coordinated
 	// (max-min), DRF-coordinated, single-VM.
-	gMaxMin := cell(t, r, 0, 2)
-	gDRF := cell(t, r, 0, 3)
-	gSingle := cell(t, r, 0, 4)
+	gMaxMin := numCell(t, r, 0, 2)
+	gDRF := numCell(t, r, 0, 3)
+	gSingle := numCell(t, r, 0, 4)
 	// DRF must improve the contended GraphChi VM over max-min.
 	if !(gDRF > gMaxMin) {
 		t.Errorf("DRF (%v) did not improve GraphChi over max-min (%v)", gDRF, gMaxMin)

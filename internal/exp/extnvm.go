@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"heteroos/internal/core"
@@ -15,7 +16,7 @@ import (
 // store-dominated workload over NVM-class SlowMem under plain
 // coordinated management vs the write-bit-tracking variant, across
 // FastMem sizes.
-func ExtNVM(o Options) (*Result, error) {
+func ExtNVM(ctx context.Context, o Options) (*Result, error) {
 	sizes := []int64{128 * workload.MiB, 192 * workload.MiB, 256 * workload.MiB}
 	if o.Quick {
 		sizes = []int64{192 * workload.MiB}
@@ -24,11 +25,13 @@ func ExtNVM(o Options) (*Result, error) {
 		"FastMem", "coordinated (s)", "write-aware (s)", "gain %", "extra promotions")
 	t.Caption = "writeheavy microbenchmark, 512MiB WSS split write-hot/read-hot, SlowMem L:5,B:9 (2x store penalty)"
 
-	run := func(mode policy.Mode, fastBytes int64) (*core.VMResult, error) {
+	sw := newSweep(ctx, o)
+	submit := func(mode policy.Mode, fastBytes int64) cell {
 		w := workload.NewWriteHeavy(wcfg(o), 512*workload.MiB)
 		fast := pages(fastBytes)
 		slow := pages(2 * workload.GiB)
-		res, _, err := core.RunSingle(core.Config{
+		label := fmt.Sprintf("writeheavy/%s/%dMiB", mode.Name, fastBytes/workload.MiB)
+		return sw.submitCfg(label, core.Config{
 			FastFrames: fast + slow + 4096,
 			SlowFrames: slow + 4096,
 			SlowSpec:   memsim.SlowTierSpec(),
@@ -38,15 +41,22 @@ func ExtNVM(o Options) (*Result, error) {
 				FastPages: fast, SlowPages: slow,
 			}},
 		})
-		return res, err
 	}
 
-	for _, size := range sizes {
-		plain, err := run(policy.HeteroOSCoordinated(), size)
+	type pair struct{ plain, aware cell }
+	cells := make([]pair, len(sizes))
+	for i, size := range sizes {
+		cells[i] = pair{
+			plain: submit(policy.HeteroOSCoordinated(), size),
+			aware: submit(policy.HeteroOSCoordinatedNVM(), size),
+		}
+	}
+	for i, size := range sizes {
+		plain, err := cells[i].plain.result()
 		if err != nil {
 			return nil, err
 		}
-		aware, err := run(policy.HeteroOSCoordinatedNVM(), size)
+		aware, err := cells[i].aware.result()
 		if err != nil {
 			return nil, err
 		}

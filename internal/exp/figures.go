@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"heteroos/internal/core"
@@ -21,7 +22,7 @@ func sensitivityPoints(o Options) []memsim.Throttle {
 }
 
 // sensitivity runs the Figure 1/2 sweep on the given LLC.
-func sensitivity(o Options, id, title string, llc memsim.LLC, remoteNUMA bool) (*Result, error) {
+func sensitivity(ctx context.Context, o Options, id, title string, llc memsim.LLC, remoteNUMA bool) (*Result, error) {
 	points := sensitivityPoints(o)
 	header := []string{"App"}
 	for _, p := range points {
@@ -37,21 +38,38 @@ func sensitivity(o Options, id, title string, llc memsim.LLC, remoteNUMA bool) (
 	if !o.Quick {
 		apps = append(apps, "Nginx")
 	}
-	for _, app := range apps {
-		base, err := runOne(o, app, policy.FastMemOnly(), ratioPages(2), memsim.SlowTierSpec(), llc)
+	type appCells struct {
+		base   cell
+		points []cell
+		remote cell
+	}
+	sw := newSweep(ctx, o)
+	rows := make([]appCells, len(apps))
+	for i, app := range apps {
+		rows[i].base = sw.submitOne(app, policy.FastMemOnly(), ratioPages(2), memsim.SlowTierSpec(), llc)
+		for _, p := range points {
+			rows[i].points = append(rows[i].points,
+				sw.submitOne(app, policy.SlowMemOnly(), 0, p.Spec(), llc))
+		}
+		if remoteNUMA {
+			rows[i].remote = sw.submitOne(app, policy.SlowMemOnly(), 0, memsim.RemoteNUMA, llc)
+		}
+	}
+	for i, app := range apps {
+		base, err := rows[i].base.result()
 		if err != nil {
 			return nil, err
 		}
 		row := []interface{}{app}
-		for _, p := range points {
-			r, err := runOne(o, app, policy.SlowMemOnly(), 0, p.Spec(), llc)
+		for _, c := range rows[i].points {
+			r, err := c.result()
 			if err != nil {
 				return nil, err
 			}
 			row = append(row, metrics.Slowdown(base.RuntimeSeconds(), r.RuntimeSeconds()))
 		}
 		if remoteNUMA {
-			r, err := runOne(o, app, policy.SlowMemOnly(), 0, memsim.RemoteNUMA, llc)
+			r, err := rows[i].remote.result()
 			if err != nil {
 				return nil, err
 			}
@@ -64,21 +82,21 @@ func sensitivity(o Options, id, title string, llc memsim.LLC, remoteNUMA bool) (
 
 // Figure1 reproduces the bandwidth/latency sensitivity study on the
 // reference (16 MB LLC) platform, including the remote-NUMA comparison.
-func Figure1(o Options) (*Result, error) {
-	return sensitivity(o, "figure1",
+func Figure1(ctx context.Context, o Options) (*Result, error) {
+	return sensitivity(ctx, o, "figure1",
 		"Figure 1: Bandwidth and latency sensitivity (16MB LLC)",
 		memsim.DefaultLLC(), true)
 }
 
 // Figure2 reproduces the Intel NVM emulator platform study (48 MB LLC).
-func Figure2(o Options) (*Result, error) {
-	return sensitivity(o, "figure2",
+func Figure2(ctx context.Context, o Options) (*Result, error) {
+	return sensitivity(ctx, o, "figure2",
 		"Figure 2: Intel NVM emulator sensitivity (48MB LLC)",
 		memsim.EmulatorLLC(), false)
 }
 
 // Figure3 reproduces the FastMem capacity-impact sweep at L:5,B:9.
-func Figure3(o Options) (*Result, error) {
+func Figure3(ctx context.Context, o Options) (*Result, error) {
 	dens := []int{2, 4, 8, 16, 32}
 	if o.Quick {
 		dens = []int{2, 8}
@@ -93,14 +111,27 @@ func Figure3(o Options) (*Result, error) {
 	if !o.Quick {
 		apps = append(apps, "Nginx")
 	}
-	for _, app := range apps {
-		base, err := runDefault(o, app, policy.FastMemOnly(), ratioPages(2))
+	type appCells struct {
+		base cell
+		dens []cell
+	}
+	sw := newSweep(ctx, o)
+	rows := make([]appCells, len(apps))
+	for i, app := range apps {
+		rows[i].base = sw.submitDefault(app, policy.FastMemOnly(), ratioPages(2))
+		for _, d := range dens {
+			rows[i].dens = append(rows[i].dens,
+				sw.submitDefault(app, policy.HeapIOSlabOD(), ratioPages(d)))
+		}
+	}
+	for i, app := range apps {
+		base, err := rows[i].base.result()
 		if err != nil {
 			return nil, err
 		}
 		row := []interface{}{app}
-		for _, d := range dens {
-			r, err := runDefault(o, app, policy.HeapIOSlabOD(), ratioPages(d))
+		for _, c := range rows[i].dens {
+			r, err := c.result()
 			if err != nil {
 				return nil, err
 			}
@@ -113,15 +144,20 @@ func Figure3(o Options) (*Result, error) {
 
 // Figure4 reproduces the page-type census: the distribution of pages
 // allocated over each application's run, by Figure 4's categories.
-func Figure4(o Options) (*Result, error) {
+func Figure4(ctx context.Context, o Options) (*Result, error) {
 	t := metrics.NewTable("Figure 4: Application memory page distribution",
 		"App", "heap/anon %", "I/O cache %", "NW-buff %", "Slab %", "Pagetable %", "Total pages (millions)")
 	apps := []string{"Redis", "X-Stream", "GraphChi", "Metis", "LevelDB"}
 	if o.Quick {
 		apps = []string{"Redis", "LevelDB"}
 	}
-	for _, app := range apps {
-		r, err := runDefault(o, app, policy.FastMemOnly(), ratioPages(2))
+	sw := newSweep(ctx, o)
+	cells := make([]cell, len(apps))
+	for i, app := range apps {
+		cells[i] = sw.submitDefault(app, policy.FastMemOnly(), ratioPages(2))
+	}
+	for i, app := range apps {
+		r, err := cells[i].result()
 		if err != nil {
 			return nil, err
 		}
@@ -162,27 +198,53 @@ func microModes() []policy.Mode {
 	}
 }
 
-// runMicro executes a microbenchmark with 0.5 GiB FastMem / 3.5 GiB
+// submitMicro queues a microbenchmark with 0.5 GiB FastMem / 3.5 GiB
 // SlowMem (Section 5.2's configuration).
-func runMicro(o Options, w workload.Workload, mode policy.Mode) (*core.VMResult, error) {
+func (s *sweep) submitMicro(label string, w workload.Workload, mode policy.Mode) cell {
 	fast := pages(512 * workload.MiB)
 	slow := pages(3584 * workload.MiB)
 	cfg := core.Config{
 		FastFrames: fast + slow + 8192,
 		SlowFrames: slow + 8192,
-		Seed:       o.seed(),
+		Seed:       s.o.seed(),
 		VMs: []core.VMConfig{{
 			ID: 1, Mode: mode, Workload: w,
 			FastPages: fast, SlowPages: slow,
 		}},
 	}
-	res, _, err := core.RunSingle(cfg)
-	return res, err
+	return s.submitCfg(label, cfg)
+}
+
+// microResult is one collected Figure 6/7 cell mapped through a metric.
+func microSweep(ctx context.Context, o Options, wss []int64,
+	build func(size int64) workload.Workload, metric func(*core.VMResult) float64,
+	t *metrics.Table) error {
+	sw := newSweep(ctx, o)
+	modes := microModes()
+	cells := make([][]cell, len(modes))
+	for i, mode := range modes {
+		for _, size := range wss {
+			label := fmt.Sprintf("%s/%dMiB", mode.Name, size/workload.MiB)
+			cells[i] = append(cells[i], sw.submitMicro(label, build(size), mode))
+		}
+	}
+	for i, mode := range modes {
+		row := []interface{}{mode.Name}
+		for _, c := range cells[i] {
+			r, err := c.result()
+			if err != nil {
+				return err
+			}
+			row = append(row, metric(r))
+		}
+		t.AddRow(row...)
+	}
+	return nil
 }
 
 // Figure6 reproduces the memlat latency microbenchmark: average memory
 // access latency (cycles) across working-set sizes and placements.
-func Figure6(o Options) (*Result, error) {
+func Figure6(ctx context.Context, o Options) (*Result, error) {
 	wss := []int64{100 * workload.MiB, 256 * workload.MiB, 512 * workload.MiB,
 		1 * workload.GiB, 3 * workload.GiB / 2, 2 * workload.GiB}
 	if o.Quick {
@@ -194,16 +256,11 @@ func Figure6(o Options) (*Result, error) {
 	}
 	t := metrics.NewTable("Figure 6: memlat average latency (cycles)", header...)
 	t.Caption = "0.5GB FastMem, 3.5GB SlowMem (L:5,B:9)"
-	for _, mode := range microModes() {
-		row := []interface{}{mode.Name}
-		for _, size := range wss {
-			r, err := runMicro(o, workload.NewMemLat(wcfg(o), size), mode)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, avgLatencyCycles(r))
-		}
-		t.AddRow(row...)
+	err := microSweep(ctx, o, wss,
+		func(size int64) workload.Workload { return workload.NewMemLat(wcfg(o), size) },
+		avgLatencyCycles, t)
+	if err != nil {
+		return nil, err
 	}
 	return &Result{ID: "figure6", Table: t}, nil
 }
@@ -219,7 +276,7 @@ func avgLatencyCycles(r *core.VMResult) float64 {
 }
 
 // Figure7 reproduces the STREAM bandwidth microbenchmark.
-func Figure7(o Options) (*Result, error) {
+func Figure7(ctx context.Context, o Options) (*Result, error) {
 	wss := []int64{512 * workload.MiB, 3 * workload.GiB / 2}
 	header := []string{"Mode"}
 	for _, w := range wss {
@@ -227,16 +284,11 @@ func Figure7(o Options) (*Result, error) {
 	}
 	t := metrics.NewTable("Figure 7: Stream bandwidth (GB/s)", header...)
 	t.Caption = "0.5GB FastMem, 3.5GB SlowMem (L:5,B:9)"
-	for _, mode := range microModes() {
-		row := []interface{}{mode.Name}
-		for _, size := range wss {
-			r, err := runMicro(o, workload.NewStream(wcfg(o), size), mode)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, bandwidthGBs(r))
-		}
-		t.AddRow(row...)
+	err := microSweep(ctx, o, wss,
+		func(size int64) workload.Workload { return workload.NewStream(wcfg(o), size) },
+		bandwidthGBs, t)
+	if err != nil {
+		return nil, err
 	}
 	return &Result{ID: "figure7", Table: t}, nil
 }
@@ -254,14 +306,17 @@ func bandwidthGBs(r *core.VMResult) float64 {
 
 // Figure8 reproduces the VMM-exclusive tracking/migration overhead sweep
 // across hotness-scan intervals.
-func Figure8(o Options) (*Result, error) {
+func Figure8(ctx context.Context, o Options) (*Result, error) {
 	intervals := []int{1, 2, 3, 4, 5} // x100ms
 	if o.Quick {
 		intervals = []int{1, 5}
 	}
 	t := metrics.NewTable("Figure 8: VMM-exclusive hotness-tracking and migration cost (GraphChi)",
 		"Interval (ms)", "Hotpage overhead (%)", "Migration overhead (%)", "Total overhead (%)", "Pages migrated (millions)")
-	for _, iv := range intervals {
+	sw := newSweep(ctx, o)
+	cells := make([]cell, len(intervals))
+	for i, iv := range intervals {
+		label := fmt.Sprintf("GraphChi/VMM-exclusive/interval=%dx100ms", iv)
 		w, err := workload.ByName("GraphChi", wcfg(o))
 		if err != nil {
 			return nil, err
@@ -276,7 +331,10 @@ func Figure8(o Options) (*Result, error) {
 				FastPages: ratioPages(4), SlowPages: slowVM,
 			}},
 		}
-		r, _, err := core.RunSingle(cfg)
+		cells[i] = sw.submitCfg(label, cfg)
+	}
+	for i, iv := range intervals {
+		r, err := cells[i].result()
 		if err != nil {
 			return nil, err
 		}
@@ -296,33 +354,48 @@ func figure9Modes() []policy.Mode {
 	}
 }
 
-// Figure9 reproduces the guest-OS placement study: gains relative to
-// SlowMem-only across FastMem capacity ratios.
-func Figure9(o Options) (*Result, error) {
-	dens := []int{2, 4, 8}
-	if o.Quick {
-		dens = []int{4}
-	}
+// gainSweep assembles the Figure 9/11 shape: per app, gains of each
+// mode × capacity ratio relative to SlowMem-only, plus the FastMem-only
+// ideal column.
+func gainSweep(ctx context.Context, o Options, id, title string, modes []policy.Mode, dens []int) (*Result, error) {
 	header := []string{"App", "Ratio"}
-	for _, m := range figure9Modes() {
+	for _, m := range modes {
 		header = append(header, m.Name)
 	}
 	header = append(header, "FastMem-only")
-	t := metrics.NewTable("Figure 9: Impact of OS heterogeneity awareness", header...)
+	t := metrics.NewTable(title, header...)
 	t.Caption = "Gains (%) relative to SlowMem-only"
-	for _, app := range evalApps(o) {
-		base, err := runDefault(o, app, policy.SlowMemOnly(), 0)
-		if err != nil {
-			return nil, err
-		}
-		ideal, err := runDefault(o, app, policy.FastMemOnly(), ratioPages(2))
-		if err != nil {
-			return nil, err
-		}
+	apps := evalApps(o)
+	type appCells struct {
+		base, ideal cell
+		byDen       [][]cell // [den][mode]
+	}
+	sw := newSweep(ctx, o)
+	rows := make([]appCells, len(apps))
+	for i, app := range apps {
+		rows[i].base = sw.submitDefault(app, policy.SlowMemOnly(), 0)
+		rows[i].ideal = sw.submitDefault(app, policy.FastMemOnly(), ratioPages(2))
 		for _, d := range dens {
+			var cs []cell
+			for _, m := range modes {
+				cs = append(cs, sw.submitDefault(app, m, ratioPages(d)))
+			}
+			rows[i].byDen = append(rows[i].byDen, cs)
+		}
+	}
+	for i, app := range apps {
+		base, err := rows[i].base.result()
+		if err != nil {
+			return nil, err
+		}
+		ideal, err := rows[i].ideal.result()
+		if err != nil {
+			return nil, err
+		}
+		for j, d := range dens {
 			row := []interface{}{app, fmt.Sprintf("1/%d", d)}
-			for _, m := range figure9Modes() {
-				r, err := runDefault(o, app, m, ratioPages(d))
+			for _, c := range rows[i].byDen[j] {
+				r, err := c.result()
 				if err != nil {
 					return nil, err
 				}
@@ -332,21 +405,40 @@ func Figure9(o Options) (*Result, error) {
 			t.AddRow(row...)
 		}
 	}
-	return &Result{ID: "figure9", Table: t}, nil
+	return &Result{ID: id, Table: t}, nil
+}
+
+// Figure9 reproduces the guest-OS placement study: gains relative to
+// SlowMem-only across FastMem capacity ratios.
+func Figure9(ctx context.Context, o Options) (*Result, error) {
+	dens := []int{2, 4, 8}
+	if o.Quick {
+		dens = []int{4}
+	}
+	return gainSweep(ctx, o, "figure9", "Figure 9: Impact of OS heterogeneity awareness",
+		figure9Modes(), dens)
 }
 
 // Figure10 reproduces the FastMem allocation miss-ratio comparison at
 // the 1/8 capacity ratio.
-func Figure10(o Options) (*Result, error) {
+func Figure10(ctx context.Context, o Options) (*Result, error) {
 	header := []string{"App"}
 	for _, m := range figure9Modes() {
 		header = append(header, m.Name)
 	}
 	t := metrics.NewTable("Figure 10: FastMem allocation miss ratio (1/8 capacity ratio)", header...)
-	for _, app := range evalApps(o) {
-		row := []interface{}{app}
+	apps := evalApps(o)
+	sw := newSweep(ctx, o)
+	cells := make([][]cell, len(apps))
+	for i, app := range apps {
 		for _, m := range figure9Modes() {
-			r, err := runDefault(o, app, m, ratioPages(8))
+			cells[i] = append(cells[i], sw.submitDefault(app, m, ratioPages(8)))
+		}
+	}
+	for i, app := range apps {
+		row := []interface{}{app}
+		for _, c := range cells[i] {
+			r, err := c.result()
 			if err != nil {
 				return nil, err
 			}
@@ -365,66 +457,47 @@ func figure11Modes() []policy.Mode {
 }
 
 // Figure11 reproduces the coordinated-management study.
-func Figure11(o Options) (*Result, error) {
+func Figure11(ctx context.Context, o Options) (*Result, error) {
 	dens := []int{4, 8}
 	if o.Quick {
 		dens = []int{4}
 	}
-	header := []string{"App", "Ratio"}
-	for _, m := range figure11Modes() {
-		header = append(header, m.Name)
-	}
-	header = append(header, "FastMem-only")
-	t := metrics.NewTable("Figure 11: Impact of HeteroOS-coordinated", header...)
-	t.Caption = "Gains (%) relative to SlowMem-only"
-	for _, app := range evalApps(o) {
-		base, err := runDefault(o, app, policy.SlowMemOnly(), 0)
-		if err != nil {
-			return nil, err
-		}
-		ideal, err := runDefault(o, app, policy.FastMemOnly(), ratioPages(2))
-		if err != nil {
-			return nil, err
-		}
-		for _, d := range dens {
-			row := []interface{}{app, fmt.Sprintf("1/%d", d)}
-			for _, m := range figure11Modes() {
-				r, err := runDefault(o, app, m, ratioPages(d))
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, metrics.GainPercent(base.RuntimeSeconds(), r.RuntimeSeconds()))
-			}
-			row = append(row, metrics.GainPercent(base.RuntimeSeconds(), ideal.RuntimeSeconds()))
-			t.AddRow(row...)
-		}
-	}
-	return &Result{ID: "figure11", Table: t}, nil
+	return gainSweep(ctx, o, "figure11", "Figure 11: Impact of HeteroOS-coordinated",
+		figure11Modes(), dens)
 }
 
 // Figure12 reproduces the migration-only gains table: each migrating
 // mechanism against the placement-only Heap-IO-Slab-OD, with total pages
 // migrated.
-func Figure12(o Options) (*Result, error) {
+func Figure12(ctx context.Context, o Options) (*Result, error) {
 	apps := []string{"GraphChi", "Redis", "LevelDB"}
 	if o.Quick {
 		apps = []string{"GraphChi"}
 	}
+	modes := []policy.Mode{policy.VMMExclusive(), policy.HeteroOSLRU(), policy.HeteroOSCoordinated()}
 	t := metrics.NewTable("Figure 12: Gains exclusively from page migrations",
 		"App", "VMM-exclusive", "HeteroOS-LRU", "HeteroOS-coordinated")
 	t.Caption = "Gain (%) vs Heap-IO-Slab-OD; pages migrated in millions in brackets"
-	for _, app := range apps {
-		base, err := runDefault(o, app, policy.HeapIOSlabOD(), ratioPages(4))
+	type appCells struct {
+		base  cell
+		modes []cell
+	}
+	sw := newSweep(ctx, o)
+	rows := make([]appCells, len(apps))
+	for i, app := range apps {
+		rows[i].base = sw.submitDefault(app, policy.HeapIOSlabOD(), ratioPages(4))
+		for _, m := range modes {
+			rows[i].modes = append(rows[i].modes, sw.submitDefault(app, m, ratioPages(4)))
+		}
+	}
+	for i, app := range apps {
+		base, err := rows[i].base.result()
 		if err != nil {
 			return nil, err
 		}
 		row := []interface{}{app}
-		for _, m := range figure11Modes() {
-			// Reorder columns: VMM-exclusive, LRU, coordinated.
-			_ = m
-		}
-		for _, m := range []policy.Mode{policy.VMMExclusive(), policy.HeteroOSLRU(), policy.HeteroOSCoordinated()} {
-			r, err := runDefault(o, app, m, ratioPages(4))
+		for _, c := range rows[i].modes {
+			r, err := c.result()
 			if err != nil {
 				return nil, err
 			}
@@ -441,7 +514,7 @@ func Figure12(o Options) (*Result, error) {
 // Figure13 reproduces the multi-VM resource-sharing study: a GraphChi VM
 // and a Metis VM contending for 4 GiB FastMem / 8 GiB SlowMem under
 // max-min vs weighted-DRF sharing.
-func Figure13(o Options) (*Result, error) {
+func Figure13(ctx context.Context, o Options) (*Result, error) {
 	type vmShape struct {
 		app                string
 		fastSpan, slowSpan uint64
@@ -480,24 +553,28 @@ func Figure13(o Options) (*Result, error) {
 		}, nil
 	}
 
-	runPair := func(mode policy.Mode, share core.ShareKind) ([2]*core.VMResult, error) {
-		var out [2]*core.VMResult
+	sw := newSweep(ctx, o)
+
+	submitPair := func(mode policy.Mode, share core.ShareKind) (cell, error) {
 		var vms []core.VMConfig
 		for i, sh := range shapes {
 			vc, err := buildVM(i+1, sh, mode)
 			if err != nil {
-				return out, err
+				return cell{}, err
 			}
 			vms = append(vms, vc)
 		}
-		sys, err := core.NewSystem(core.Config{
+		label := fmt.Sprintf("pair/%s/%s", mode.Name, share)
+		return sw.submitCfg(label, core.Config{
 			FastFrames: machineFast, SlowFrames: machineSlow,
 			Share: share, Seed: o.seed(), VMs: vms,
-		})
+		}), nil
+	}
+
+	collectPair := func(c cell) ([2]*core.VMResult, error) {
+		var out [2]*core.VMResult
+		sys, err := c.system()
 		if err != nil {
-			return out, err
-		}
-		if err := sys.Run(); err != nil {
 			return out, err
 		}
 		for i := range shapes {
@@ -508,42 +585,57 @@ func Figure13(o Options) (*Result, error) {
 	}
 
 	// Per-app SlowMem-only and single-VM coordinated baselines.
-	baselines := map[string]float64{}
-	single := map[string]float64{}
+	baseCells := make([]cell, len(shapes))
+	singleCells := make([]cell, len(shapes))
 	for i, sh := range shapes {
-		b, err := runDefault(o, sh.app, policy.SlowMemOnly(), 0)
-		if err != nil {
-			return nil, err
-		}
-		baselines[sh.app] = b.RuntimeSeconds()
+		baseCells[i] = sw.submitDefault(sh.app, policy.SlowMemOnly(), 0)
 		vc, err := buildVM(i+1, sh, policy.HeteroOSCoordinated())
 		if err != nil {
 			return nil, err
 		}
 		vc.ID = 1
-		sys, err := core.NewSystem(core.Config{
+		singleCells[i] = sw.submitCfg(fmt.Sprintf("single/%s", sh.app), core.Config{
 			FastFrames: machineFast, SlowFrames: machineSlow,
 			Share: core.ShareStatic, Seed: o.seed(), VMs: []core.VMConfig{vc},
 		})
+	}
+	vmmExclCell, err := submitPair(policy.VMMExclusive(), core.ShareMaxMin)
+	if err != nil {
+		return nil, err
+	}
+	coordMaxMinCell, err := submitPair(policy.HeteroOSCoordinated(), core.ShareMaxMin)
+	if err != nil {
+		return nil, err
+	}
+	coordDRFCell, err := submitPair(policy.HeteroOSCoordinated(), core.ShareDRF)
+	if err != nil {
+		return nil, err
+	}
+
+	baselines := map[string]float64{}
+	single := map[string]float64{}
+	for i, sh := range shapes {
+		b, err := baseCells[i].result()
 		if err != nil {
 			return nil, err
 		}
-		if err := sys.Run(); err != nil {
+		baselines[sh.app] = b.RuntimeSeconds()
+		sys, err := singleCells[i].system()
+		if err != nil {
 			return nil, err
 		}
 		r, _ := sys.VMResultByID(1)
 		single[sh.app] = r.RuntimeSeconds()
 	}
-
-	vmmExcl, err := runPair(policy.VMMExclusive(), core.ShareMaxMin)
+	vmmExcl, err := collectPair(vmmExclCell)
 	if err != nil {
 		return nil, err
 	}
-	coordMaxMin, err := runPair(policy.HeteroOSCoordinated(), core.ShareMaxMin)
+	coordMaxMin, err := collectPair(coordMaxMinCell)
 	if err != nil {
 		return nil, err
 	}
-	coordDRF, err := runPair(policy.HeteroOSCoordinated(), core.ShareDRF)
+	coordDRF, err := collectPair(coordDRFCell)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"heteroos/internal/guestos"
@@ -11,7 +12,7 @@ import (
 )
 
 // Table1 renders the heterogeneous memory device catalog.
-func Table1(o Options) (*Result, error) {
+func Table1(_ context.Context, o Options) (*Result, error) {
 	t := metrics.NewTable("Table 1: Heterogeneous memory characteristics",
 		"Property", "Stacked-3D", "DRAM", "NVM (PCM)")
 	get := func(c memsim.DeviceClass) memsim.DeviceSpec {
@@ -36,7 +37,7 @@ func Table1(o Options) (*Result, error) {
 }
 
 // Table2 renders the application suite from the live workload registry.
-func Table2(o Options) (*Result, error) {
+func Table2(_ context.Context, o Options) (*Result, error) {
 	t := metrics.NewTable("Table 2: Datacenter applications",
 		"Application", "Description", "Perf. metric")
 	for _, name := range workload.Names() {
@@ -51,7 +52,7 @@ func Table2(o Options) (*Result, error) {
 }
 
 // Table3 renders the throttle-factor table.
-func Table3(o Options) (*Result, error) {
+func Table3(_ context.Context, o Options) (*Result, error) {
 	t := metrics.NewTable("Table 3: DRAM throttling points (L:x latency factor, B:y bandwidth factor)",
 		"Factor", "Latency (ns)", "BW (GB/s)")
 	for _, th := range memsim.ThrottleTable {
@@ -63,7 +64,7 @@ func Table3(o Options) (*Result, error) {
 // Table4 renders each application's memory intensity: the calibrated
 // reference MPKI plus the effective MPKI after the LLC model accounts
 // for the working set on the reference platform.
-func Table4(o Options) (*Result, error) {
+func Table4(_ context.Context, o Options) (*Result, error) {
 	t := metrics.NewTable("Table 4: Memory intensity of applications",
 		"App", "MPKI (reference)", "WSS (GiB)", "Effective MPKI (16MB LLC)")
 	llc := memsim.DefaultLLC()
@@ -81,7 +82,7 @@ func Table4(o Options) (*Result, error) {
 
 // Table5 renders the incremental mechanism catalog from the live policy
 // registry.
-func Table5(o Options) (*Result, error) {
+func Table5(_ context.Context, o Options) (*Result, error) {
 	t := metrics.NewTable("Table 5: HeteroOS incremental mechanisms",
 		"Mechanism", "Description")
 	for _, m := range policy.Table5() {
@@ -92,7 +93,7 @@ func Table5(o Options) (*Result, error) {
 
 // Table6 renders the per-page migration cost model at the measured and
 // interpolated batch sizes.
-func Table6(o Options) (*Result, error) {
+func Table6(_ context.Context, o Options) (*Result, error) {
 	t := metrics.NewTable("Table 6: Per-page migration cost vs batch size",
 		"Batch size", "T_page_move (µs)", "T_page_walk (µs)")
 	for _, batch := range []int{8 * 1024, 32 * 1024, 64 * 1024, 128 * 1024} {

@@ -10,10 +10,15 @@
 package policy
 
 import (
+	"errors"
 	"fmt"
 
 	"heteroos/internal/guestos"
 )
+
+// ErrUnknownMode is returned (wrapped) by ByName for names outside the
+// mode catalog; match it with errors.Is.
+var ErrUnknownMode = errors.New("policy: unknown mode")
 
 // MigrationMode selects who (if anyone) migrates pages at runtime.
 type MigrationMode int
@@ -228,14 +233,15 @@ func All() []Mode {
 	}
 }
 
-// ByName looks a mode up by its Table 5 / baseline name.
-func ByName(name string) (Mode, bool) {
+// ByName looks a mode up by its Table 5 / baseline name. Unknown names
+// return an error wrapping ErrUnknownMode, mirroring workload.ByName.
+func ByName(name string) (Mode, error) {
 	for _, m := range All() {
 		if m.Name == name {
-			return m, true
+			return m, nil
 		}
 	}
-	return Mode{}, false
+	return Mode{}, fmt.Errorf("%w %q", ErrUnknownMode, name)
 }
 
 // Table5 returns the paper's incremental-mechanism rows in order.

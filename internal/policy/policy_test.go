@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"errors"
 	"testing"
 
 	"heteroos/internal/guestos"
@@ -24,13 +25,17 @@ func TestAllModesDistinctAndNamed(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	for _, m := range All() {
-		got, ok := ByName(m.Name)
-		if !ok || got.Name != m.Name {
-			t.Errorf("ByName(%q) failed", m.Name)
+		got, err := ByName(m.Name)
+		if err != nil || got.Name != m.Name {
+			t.Errorf("ByName(%q) failed: %v", m.Name, err)
 		}
 	}
-	if _, ok := ByName("bogus"); ok {
+	_, err := ByName("bogus")
+	if err == nil {
 		t.Error("bogus name resolved")
+	}
+	if !errors.Is(err, ErrUnknownMode) {
+		t.Errorf("error %v does not wrap ErrUnknownMode", err)
 	}
 }
 

@@ -17,6 +17,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -24,6 +25,10 @@ import (
 	"heteroos/internal/memsim"
 	"heteroos/internal/sim"
 )
+
+// ErrUnknownApp is returned (wrapped) by ByName for names outside the
+// application catalog; match it with errors.Is.
+var ErrUnknownApp = errors.New("workload: unknown application")
 
 // Profile carries a workload's calibrated characteristics.
 type Profile struct {
@@ -255,7 +260,7 @@ func ByName(name string, cfg Config) (Workload, error) {
 	case "writeheavy":
 		return NewWriteHeavy(cfg, 512*MiB), nil
 	default:
-		return nil, fmt.Errorf("workload: unknown application %q", name)
+		return nil, fmt.Errorf("%w %q", ErrUnknownApp, name)
 	}
 }
 

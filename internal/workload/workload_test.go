@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"testing"
 
 	"heteroos/internal/guestos"
@@ -83,6 +84,8 @@ func TestByNameCoversTable2(t *testing.T) {
 	}
 	if _, err := ByName("nope", Config{}); err == nil {
 		t.Error("unknown app accepted")
+	} else if !errors.Is(err, ErrUnknownApp) {
+		t.Errorf("error %v does not wrap ErrUnknownApp", err)
 	}
 }
 
