@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench figures
+.PHONY: all build test vet race check bench bench-all figures
 
 all: check
 
@@ -15,15 +15,25 @@ test:
 
 # The runner and core are the concurrency-bearing packages: the worker
 # pool, futures, progress callbacks, and per-epoch context checks all
-# live there, so they get a dedicated race pass.
+# live there, so they get a dedicated race pass. vmm rides along since
+# its scanner/index state is shared with the sweep jobs.
 race:
-	$(GO) test -race ./internal/runner ./internal/core
+	$(GO) test -race ./internal/runner ./internal/core ./internal/vmm/...
 
 # check is the pre-commit gate: static analysis, full build, the full
 # test suite, and the race detector over the concurrent packages.
 check: vet build test race
 
+# bench runs the ranking and figure9-sweep benchmarks at benchstat-grade
+# repetition: save the output before and after a change and compare the
+# two files with benchstat.
 bench:
+	$(GO) test -run=NONE -bench='HottestIn|ColdestIn|HotScan|SweepFigure9' \
+		-benchmem -count=5 .
+
+# bench-all smoke-runs every benchmark once (artifact regeneration
+# included), trading statistical weight for coverage.
+bench-all:
 	$(GO) test -run=NONE -bench=. -benchtime=1x .
 
 figures:

@@ -271,6 +271,83 @@ func BenchmarkHotScan(b *testing.B) {
 	}
 }
 
+// benchRankingScanners builds the BenchmarkHotScan guest shape (64K
+// PFNs, fully boot-populated across both tiers) with a heated working
+// set spanning the tiers, and returns two scanners over it: one ranking
+// by sweep-and-sort (rankIn fallback) and one serving from the attached
+// heat-bucket index. The index is attached before any heat builds up, so
+// it tracks every sample incrementally like a production run.
+func benchRankingScanners(b *testing.B) (*benchFrameSource, *vmm.Scanner, *vmm.Scanner) {
+	b.Helper()
+	src := benchSource(b)
+	os, err := guestos.New(guestos.Config{
+		CPUs: 1, Aware: false,
+		FastMaxPages: 16384, SlowMaxPages: 49152,
+		BootFastPages: 16384, BootSlowPages: 49152,
+		Placement: guestos.PlacementConfig{Name: "bench"},
+		Source:    src, TierOf: src.TierOf, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweep := vmm.NewScanner(os, vmm.DefaultScanCosts())
+	sweep.BatchPages = int(os.NumPFNs())
+	indexed := vmm.NewScanner(os, vmm.DefaultScanCosts())
+	indexed.BatchPages = int(os.NumPFNs())
+	os.SetPageIndexer(vmm.NewHeatIndex(indexed, src.TierOf))
+	// Heat a working set wide enough to land in both tiers.
+	vma, err := os.AS.Mmap(24576, guestos.KindAnon, guestos.NilFile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 24576; i++ {
+			if _, err := os.TouchVPN(vma.Start+guestos.VPN(i), 1, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		indexed.ScanNext()
+	}
+	return src, sweep, indexed
+}
+
+// BenchmarkHottestIn contrasts the ranking query that feeds every
+// migration pass: full sweep-and-sort vs the O(k) heat-bucket walk.
+func BenchmarkHottestIn(b *testing.B) {
+	src, sweep, indexed := benchRankingScanners(b)
+	for _, bc := range []struct {
+		name string
+		sc   *vmm.Scanner
+	}{{"sweep", sweep}, {"index", indexed}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := bc.sc.HottestIn(src.m, memsim.SlowMem, 64); len(got) == 0 {
+					b.Fatal("no hot pages ranked")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkColdestIn is the demotion-side counterpart.
+func BenchmarkColdestIn(b *testing.B) {
+	src, sweep, indexed := benchRankingScanners(b)
+	for _, bc := range []struct {
+		name string
+		sc   *vmm.Scanner
+	}{{"sweep", sweep}, {"index", indexed}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := bc.sc.ColdestIn(src.m, memsim.SlowMem, 64); len(got) == 0 {
+					b.Fatal("no cold pages ranked")
+				}
+			}
+		})
+	}
+}
+
 // --- bench plumbing ---
 
 type benchFrameSource struct {

@@ -11,6 +11,11 @@
 //	heterobench -exp all -workers 4     # bound the worker pool
 //	heterobench -exp figure9 -progress  # per-simulation progress on stderr
 //	heterobench -list                   # enumerate experiment ids
+//
+// Profiling (see README "Profiling" for the pprof workflow):
+//
+//	heterobench -exp figure9 -cpuprofile cpu.out   # CPU profile of the run
+//	heterobench -exp figure9 -memprofile mem.out   # heap profile at exit
 package main
 
 import (
@@ -20,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"heteroos/internal/exp"
@@ -27,13 +34,15 @@ import (
 
 func main() {
 	var (
-		expID    = flag.String("exp", "all", "experiment id (table1..table6, figure1..figure13) or 'all'")
-		quick    = flag.Bool("quick", false, "run reduced sweeps")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		workers  = flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
-		progress = flag.Bool("progress", false, "report per-simulation progress on stderr")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		format   = flag.String("format", "text", "output format: text, markdown, csv")
+		expID      = flag.String("exp", "all", "experiment id (table1..table6, figure1..figure13) or 'all'")
+		quick      = flag.Bool("quick", false, "run reduced sweeps")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		workers    = flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
+		progress   = flag.Bool("progress", false, "report per-simulation progress on stderr")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		format     = flag.String("format", "text", "output format: text, markdown, csv")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to `file`")
+		memprofile = flag.String("memprofile", "", "write a heap profile to `file` at exit")
 	)
 	flag.Parse()
 
@@ -42,6 +51,36 @@ func main() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Description)
 		}
 		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heterobench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "heterobench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "heterobench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // material allocations only, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "heterobench: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

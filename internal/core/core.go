@@ -457,6 +457,14 @@ func (s *System) bootVM(vc VMConfig) (*VMInstance, error) {
 		inst.interval = vmm.NewAdaptiveInterval(
 			50*sim.Millisecond, sim.Second, 250*sim.Millisecond)
 	}
+	if inst.scanner != nil {
+		// Attach the heat-bucket index: ranking queries become an O(k)
+		// bucket walk updated incrementally from guest page events. Wired
+		// after every scoring knob (thresholds, write tracking, guest
+		// trust) is final, and before the workload touches memory, so the
+		// boot-time seed sweep is the only full scan the index ever does.
+		os.SetPageIndexer(vmm.NewHeatIndex(inst.scanner, s.Machine.TierOf))
+	}
 	if err := vc.Workload.Init(os); err != nil {
 		return nil, fmt.Errorf("core: init workload on VM %d: %w", vc.ID, err)
 	}

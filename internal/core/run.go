@@ -206,6 +206,11 @@ func (s *System) stepVM(inst *VMInstance) error {
 				freePct = 100 * float64(fast.FreePages()) / float64(fast.MaxPages)
 			}
 		}
+		if inst.TraceLog == nil {
+			// One up-front allocation sized for the whole run keeps the
+			// epoch hot path free of append growth.
+			inst.TraceLog = make([]EpochTrace, 0, s.Cfg.MaxEpochs)
+		}
 		inst.TraceLog = append(inst.TraceLog, EpochTrace{
 			Epoch:       inst.Res.Epochs + 1,
 			Total:       cost.Total,

@@ -316,7 +316,8 @@ func (o *OS) EndEpoch() {
 	if o.cfg.Placement.HeteroLRU && o.cfg.Aware {
 		fast := o.Node(memsim.FastMem)
 		if fast.BelowLow() {
-			demoted := o.lrus[memsim.FastMem].Balance(reclaimBatchPages)
+			demoted := o.lrus[memsim.FastMem].BalanceInto(o.balanceBuf[:0], reclaimBatchPages)
+			o.balanceBuf = demoted
 			for _, pfn := range demoted {
 				p := o.store.Page(pfn)
 				// The same guards as reclaim: never eagerly demote a
@@ -363,13 +364,31 @@ func (o *OS) AddOSTime(ns float64) { o.ep.OSTimeNs += ns }
 func (o *OS) ScanHeat(pfn PFN) uint8 { return o.store.Page(pfn).ScanHeat }
 
 // SetScanHeat stores the VMM scanner's hotness history for pfn.
-func (o *OS) SetScanHeat(pfn PFN, h uint8) { o.store.Page(pfn).ScanHeat = h }
+func (o *OS) SetScanHeat(pfn PFN, h uint8) {
+	p := o.store.Page(pfn)
+	if p.ScanHeat == h {
+		return
+	}
+	p.ScanHeat = h
+	if o.indexer != nil {
+		o.indexer.PageHeatChanged(pfn)
+	}
+}
 
 // ScanWriteHeat reads the tracker's store-activity history for pfn.
 func (o *OS) ScanWriteHeat(pfn PFN) uint8 { return o.store.Page(pfn).ScanWriteHeat }
 
 // SetScanWriteHeat stores the tracker's store-activity history for pfn.
-func (o *OS) SetScanWriteHeat(pfn PFN, h uint8) { o.store.Page(pfn).ScanWriteHeat = h }
+func (o *OS) SetScanWriteHeat(pfn PFN, h uint8) {
+	p := o.store.Page(pfn)
+	if p.ScanWriteHeat == h {
+		return
+	}
+	p.ScanWriteHeat = h
+	if o.indexer != nil {
+		o.indexer.PageHeatChanged(pfn)
+	}
+}
 
 // TestAndClearWritten emulates PAGE_RW write-bit scanning (Section 4.3):
 // it reports whether pfn was stored to since the last scan and clears
@@ -427,14 +446,21 @@ func (o *OS) SetBackingMFN(pfn PFN, mfn memsim.MFN) {
 		panic(fmt.Sprintf("guestos: SetBackingMFN on unpopulated pfn %d", pfn))
 	}
 	p.MFN = mfn
+	if o.indexer != nil {
+		o.indexer.PageBacked(pfn, mfn)
+	}
 }
 
 // TrackingList implements the coordinated interface's tracking list: the
 // guest exports the regions worth scanning — resident anonymous pages —
 // extracted from the VMA structures. Short-lived I/O pages, page-table
 // and DMA pages form the implicit exception list by omission.
+//
+// The returned slice is backed by an OS-owned buffer and is only valid
+// until the next TrackingList call (the coordinated pass consumes it
+// immediately; nothing retains it across passes).
 func (o *OS) TrackingList() []PFN {
-	var out []PFN
+	out := o.trackBuf[:0]
 	for _, v := range o.AS.VMAs() {
 		if v.Kind != KindAnon {
 			continue
@@ -445,6 +471,7 @@ func (o *OS) TrackingList() []PFN {
 			}
 		}
 	}
+	o.trackBuf = out
 	return out
 }
 

@@ -164,7 +164,13 @@ func (l *PageLRU) Deactivate(pfn PFN) {
 // active to an inactive state change ... and immediately evicts them
 // from FastMem").
 func (l *PageLRU) Balance(max int) []PFN {
-	var demoted []PFN
+	return l.BalanceInto(nil, max)
+}
+
+// BalanceInto is Balance appending into a caller-supplied buffer
+// (typically buf[:0] of a reusable slice), so steady-state epoch
+// maintenance allocates nothing.
+func (l *PageLRU) BalanceInto(demoted []PFN, max int) []PFN {
 	for len(demoted) < max && l.active.count > l.inactive.count && l.active.tail != NilPFN {
 		pfn := l.active.tail
 		l.Deactivate(pfn)

@@ -24,6 +24,25 @@ type FrameSource interface {
 	Release(mfns []memsim.MFN)
 }
 
+// PageIndexer observes the page-state transitions that affect an
+// external hotness index: backing-frame changes, scanner heat updates,
+// and alloc/free transitions. The VMM's heat-bucket index implements it;
+// the OS calls each hook from the single chokepoint that performs the
+// corresponding mutation, so an attached indexer sees every change.
+type PageIndexer interface {
+	// PageBacked fires when pfn gains or swaps its backing frame
+	// (population, transparent migration).
+	PageBacked(pfn PFN, mfn memsim.MFN)
+	// PageUnbacked fires when pfn loses its backing frame (balloon
+	// release).
+	PageUnbacked(pfn PFN)
+	// PageHeatChanged fires when pfn's scan heat or scan write-heat
+	// changed.
+	PageHeatChanged(pfn PFN)
+	// PageFreeChanged fires when pfn transitions between free and in-use.
+	PageFreeChanged(pfn PFN, free bool)
+}
+
 // Config configures one guest OS instance.
 type Config struct {
 	// CPUs is the number of vCPUs (per-CPU free-list dimensioning).
@@ -100,6 +119,15 @@ type OS struct {
 	PC    *pagecache.Cache
 	Slabs map[string]*slab.Cache
 	swap  *swapSpace
+
+	// indexer, when attached, mirrors page state into the VMM's
+	// heat-bucket index.
+	indexer PageIndexer
+	// trackBuf backs TrackingList so the per-pass export allocates
+	// nothing in steady state.
+	trackBuf []PFN
+	// balanceBuf backs the LRU Balance calls in EndEpoch and reclaim.
+	balanceBuf []PFN
 
 	epoch      uint32
 	ep         EpochStats
@@ -247,6 +275,10 @@ func (o *OS) newSlabCache(name string, objSize int, kind PageKind) *slab.Cache {
 		})
 }
 
+// SetPageIndexer attaches (or detaches, with nil) a page-state observer.
+// The caller is responsible for seeding the indexer from current state.
+func (o *OS) SetPageIndexer(ix PageIndexer) { o.indexer = ix }
+
 // Node returns the node exposing tier t (aware mode), or the single node.
 func (o *OS) Node(t memsim.Tier) *Node {
 	if !o.cfg.Aware {
@@ -325,6 +357,9 @@ func (o *OS) populateNode(idx int, want uint64) uint64 {
 		pg := o.store.Page(pfn)
 		pg.MFN = mfn
 		n.addPopulated(pfn, 1)
+		if o.indexer != nil {
+			o.indexer.PageBacked(pfn, mfn)
+		}
 	}
 	got := uint64(len(mfns))
 	o.ep.BalloonPagesIn += got
@@ -545,6 +580,9 @@ func (o *OS) initPage(pfn PFN, kind PageKind, spilled bool) {
 	case KindPageTable, KindDMA:
 		p.Set(FlagPinned)
 	}
+	if o.indexer != nil {
+		o.indexer.PageFreeChanged(pfn, false)
+	}
 }
 
 // freePage releases one frame back to its node. Mapped pages are
@@ -569,6 +607,9 @@ func (o *OS) freePage(pfn PFN) {
 	p.File = NilFile
 	o.ep.OSTimeNs += o.costs.FreeNs
 	o.nodes[idx].PCP.Free(0, 0, uint64(pfn))
+	if o.indexer != nil {
+		o.indexer.PageFreeChanged(pfn, true)
+	}
 }
 
 // unmapResident clears the virtual mapping of a resident page and fixes
@@ -660,6 +701,9 @@ func (o *OS) releaseFreeFrames(idx int, want uint64) uint64 {
 		mfns[i] = pg.MFN
 		pg.MFN = memsim.NilMFN
 		o.unpopulated[idx] = append(o.unpopulated[idx], pfn)
+		if o.indexer != nil {
+			o.indexer.PageUnbacked(pfn)
+		}
 	}
 	o.cfg.Source.Release(mfns)
 	o.ep.OSTimeNs += float64(len(mfns)) * o.costs.BalloonPerPageNs

@@ -42,7 +42,7 @@ func (o *OS) reclaimPass(idx int, target uint64, cacheOnly bool) uint64 {
 	var freed uint64
 	// Refill the inactive list if it ran dry.
 	if l.InactiveCount() == 0 {
-		l.Balance(int(2 * target))
+		o.balanceBuf = l.BalanceInto(o.balanceBuf[:0], int(2*target))
 	}
 	attempts := l.InactiveCount() + l.ActiveCount()
 walk:
@@ -53,7 +53,8 @@ walk:
 			if cacheOnly {
 				break
 			}
-			if demoted := l.Balance(int(2 * target)); len(demoted) == 0 {
+			o.balanceBuf = l.BalanceInto(o.balanceBuf[:0], int(2*target))
+			if len(o.balanceBuf) == 0 {
 				break
 			}
 			continue
@@ -271,6 +272,13 @@ func (o *OS) movePageAcrossNodes(pfn PFN, target memsim.Tier, promotion bool) bo
 	dstPg.ScanWriteHeat = src.ScanWriteHeat
 	dstPg.Tag = src.Tag
 	o.Cum.AllocsByKind[dstPg.Kind]++
+	// The destination frame was taken straight off the per-CPU list,
+	// bypassing initPage, and its scan history was written directly: the
+	// indexer must hear both transitions itself.
+	if o.indexer != nil {
+		o.indexer.PageFreeChanged(newPfn, false)
+		o.indexer.PageHeatChanged(newPfn)
+	}
 
 	// Transfer identity.
 	switch src.Kind {

@@ -69,6 +69,18 @@ type Scanner struct {
 	costs ScanCosts
 	// cursor for full-span batched scanning (VMM-exclusive mode).
 	cursor uint64
+	// trackedPos is the rotation cursor for ScanTracked, carried as a
+	// position within the tracked list (not a monotone counter: a counter
+	// taken mod len re-anchors whenever the list length changes, which
+	// re-scans the head pages and starves the tail).
+	trackedPos int
+	// index, when attached (NewHeatIndex), serves the ranking queries in
+	// O(k) instead of rankIn's full sweep-and-sort.
+	index *HeatIndex
+	// hotBuf/coldBuf back the index-served ranking results. Two buffers
+	// because the migrators hold a hot and a cold list simultaneously; a
+	// result is valid until the next call of the same polarity.
+	hotBuf, coldBuf []guestos.PFN
 	// BatchPages bounds one ScanNext pass (HeteroVisor scans 16K-32K
 	// guest pages per interval).
 	BatchPages int
@@ -175,17 +187,23 @@ func (s *Scanner) ScanNext() ScanResult {
 // for hotness"), which is how coordination shrinks the tracking scope.
 func (s *Scanner) ScanTracked(tracked []guestos.PFN) ScanResult {
 	var res ScanResult
-	limit := len(tracked)
+	n := len(tracked)
+	if n == 0 {
+		return res
+	}
+	limit := n
 	if s.BatchPages > 0 && limit > s.BatchPages {
 		limit = s.BatchPages
 	}
-	start := 0
-	if len(tracked) > limit {
-		// Rotate through the list across calls.
-		start = int(s.cursor) % len(tracked)
+	// Rotate through the list across calls. The cursor is a list
+	// position, so a growing or shrinking tracked list continues from
+	// (roughly) where the last pass stopped instead of re-anchoring.
+	if s.trackedPos >= n {
+		s.trackedPos %= n
 	}
+	start := s.trackedPos
 	for i := 0; i < limit; i++ {
-		pfn := tracked[(start+i)%len(tracked)]
+		pfn := tracked[(start+i)%n]
 		ref := s.view.TestAndClearAccessed(pfn)
 		s.sample(pfn, ref)
 		res.Scanned++
@@ -193,7 +211,7 @@ func (s *Scanner) ScanTracked(tracked []guestos.PFN) ScanResult {
 			res.Referenced++
 		}
 	}
-	s.cursor += uint64(limit)
+	s.trackedPos = (start + limit) % n
 	res.CostNs = s.scanCost(res.Scanned)
 	return res
 }
@@ -207,13 +225,21 @@ func (s *Scanner) scanCost(pages int) float64 {
 		// Write-bit scanning visits and rewrites the PTE a second time.
 		perPTE *= 1.5
 	}
-	flushes := 1 + pages/s.costs.FlushBatchPages
+	// Ceiling division: a pass of exactly FlushBatchPages needs one
+	// flush, not two.
+	flushes := (pages + s.costs.FlushBatchPages - 1) / s.costs.FlushBatchPages
 	return float64(pages)*perPTE + float64(flushes)*s.costs.TLBFlushNs
 }
 
 // rankIn collects pages backed by tier whose score satisfies the
 // thresholds (unless ignoreThreshold), ordered by score (desc when
 // hotFirst) with PFN tiebreak for determinism, truncated to max.
+//
+// It is the reference implementation of the ranking semantics: the
+// heat-bucket index serves the exported queries when attached, and the
+// differential tests assert the two produce identical output. It also
+// remains the fallback for scanners without an index (direct Scanner
+// use in tests and tools).
 func (s *Scanner) rankIn(machine *memsim.Machine, tier memsim.Tier, hotFirst bool, max int, ignoreThreshold bool) []guestos.PFN {
 	type entry struct {
 		pfn  guestos.PFN
@@ -260,14 +286,25 @@ func (s *Scanner) rankIn(machine *memsim.Machine, tier memsim.Tier, hotFirst boo
 }
 
 // HottestIn returns up to max tracked-hot pages currently backed by
-// tier, hottest first (stable order for determinism).
+// tier, hottest first (stable order for determinism). With a heat-bucket
+// index attached the result is served allocation-free from a reusable
+// buffer, valid until the next HottestIn call.
 func (s *Scanner) HottestIn(machine *memsim.Machine, tier memsim.Tier, max int) []guestos.PFN {
+	if s.index != nil {
+		s.hotBuf = s.index.descendInto(s.hotBuf[:0], tier, s.HotThreshold, s.TrustGuestState, max)
+		return s.hotBuf
+	}
 	return s.rankIn(machine, tier, true, max, false)
 }
 
 // ColdestIn returns up to max minimum-heat pages backed by tier,
-// coldest first.
+// coldest first. With an index attached the result shares CoolestIn's
+// reusable buffer, valid until the next ColdestIn/CoolestIn call.
 func (s *Scanner) ColdestIn(machine *memsim.Machine, tier memsim.Tier, max int) []guestos.PFN {
+	if s.index != nil {
+		s.coldBuf = s.index.ascendInto(s.coldBuf[:0], tier, s.ColdThreshold, s.TrustGuestState, max)
+		return s.coldBuf
+	}
 	return s.rankIn(machine, tier, false, max, false)
 }
 
@@ -277,6 +314,10 @@ func (s *Scanner) ColdestIn(machine *memsim.Machine, tier memsim.Tier, max int) 
 // can still be the right page to displace for a write-hot one, and the
 // heat margin decides case by case.
 func (s *Scanner) CoolestIn(machine *memsim.Machine, tier memsim.Tier, max int) []guestos.PFN {
+	if s.index != nil {
+		s.coldBuf = s.index.ascendInto(s.coldBuf[:0], tier, numHeatBuckets-1, s.TrustGuestState, max)
+		return s.coldBuf
+	}
 	return s.rankIn(machine, tier, false, max, true)
 }
 

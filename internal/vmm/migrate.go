@@ -63,6 +63,9 @@ func NewMigrator(costs MigrateCosts) *Migrator {
 func (g *Migrator) Rebalance(vm *VM, scanner *Scanner, maxMoves int) MigrateStats {
 	var st MigrateStats
 	machine := vm.vmm.Machine
+	// hot and the per-iteration cold lookups below are served from the
+	// scanner's separate hot/cold scratch buffers, so hot stays valid
+	// while ColdestIn is re-issued inside the loop.
 	hot := scanner.HottestIn(machine, memsim.SlowMem, maxMoves)
 	if len(hot) == 0 {
 		return st
@@ -166,6 +169,9 @@ func CoordinatedPass(vm *VM, scanner *Scanner, guest GuestMigrator, maxMoves int
 	}
 
 	machine := vm.vmm.Machine
+	// hot/cold live in the scanner's polarity-separated scratch buffers:
+	// both lists are held simultaneously, and CoolestIn below may
+	// overwrite cold (same polarity) but never hot.
 	hot := scanner.HottestIn(machine, memsim.SlowMem, maxMoves)
 	st.Hot = len(hot)
 	if len(hot) == 0 {
