@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-all figures
+.PHONY: all build test vet race check obs-parity bench bench-all figures
 
 all: check
 
@@ -20,9 +20,27 @@ test:
 race:
 	$(GO) test -race ./internal/runner ./internal/core ./internal/vmm/...
 
+# obs-parity asserts the observability contract: the figure pipeline's
+# stdout is byte-identical with and without metrics collection attached
+# (CSV format, so no wall-clock lines differ). Figure 6 sweeps three
+# modes through the runner, exercising the instrumented chokepoints.
+obs-parity:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/heterobench -exp figure6 -quick -format=csv \
+		> "$$tmp/off.csv" || exit 1; \
+	$(GO) run ./cmd/heterobench -exp figure6 -quick -format=csv \
+		-metrics "$$tmp/metrics.csv" > "$$tmp/on.csv" || exit 1; \
+	if ! cmp -s "$$tmp/off.csv" "$$tmp/on.csv"; then \
+		echo "obs-parity: figure output differs with metrics enabled:"; \
+		diff "$$tmp/off.csv" "$$tmp/on.csv"; exit 1; \
+	fi; \
+	test -s "$$tmp/metrics.csv" || { echo "obs-parity: no metrics written"; exit 1; }; \
+	echo "obs-parity: figure output byte-identical with observability on"
+
 # check is the pre-commit gate: static analysis, full build, the full
-# test suite, and the race detector over the concurrent packages.
-check: vet build test race
+# test suite, the race detector over the concurrent packages, and the
+# observability no-perturbation check.
+check: vet build test race obs-parity
 
 # bench runs the ranking and figure9-sweep benchmarks at benchstat-grade
 # repetition: save the output before and after a change and compare the

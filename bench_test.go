@@ -21,6 +21,7 @@ import (
 	"heteroos/internal/exp"
 	"heteroos/internal/guestos"
 	"heteroos/internal/memsim"
+	"heteroos/internal/obs"
 	"heteroos/internal/policy"
 	"heteroos/internal/runner"
 	"heteroos/internal/sim"
@@ -277,9 +278,9 @@ func BenchmarkHotScan(b *testing.B) {
 // by sweep-and-sort (rankIn fallback) and one serving from the attached
 // heat-bucket index. The index is attached before any heat builds up, so
 // it tracks every sample incrementally like a production run.
-func benchRankingScanners(b *testing.B) (*benchFrameSource, *vmm.Scanner, *vmm.Scanner) {
-	b.Helper()
-	src := benchSource(b)
+func benchRankingScanners(tb testing.TB) (*benchFrameSource, *vmm.Scanner, *vmm.Scanner) {
+	tb.Helper()
+	src := benchSource(tb)
 	os, err := guestos.New(guestos.Config{
 		CPUs: 1, Aware: false,
 		FastMaxPages: 16384, SlowMaxPages: 49152,
@@ -288,7 +289,7 @@ func benchRankingScanners(b *testing.B) (*benchFrameSource, *vmm.Scanner, *vmm.S
 		Source:    src, TierOf: src.TierOf, Seed: 1,
 	})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	sweep := vmm.NewScanner(os, vmm.DefaultScanCosts())
 	sweep.BatchPages = int(os.NumPFNs())
@@ -298,12 +299,12 @@ func benchRankingScanners(b *testing.B) (*benchFrameSource, *vmm.Scanner, *vmm.S
 	// Heat a working set wide enough to land in both tiers.
 	vma, err := os.AS.Mmap(24576, guestos.KindAnon, guestos.NilFile)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	for round := 0; round < 4; round++ {
 		for i := 0; i < 24576; i++ {
 			if _, err := os.TouchVPN(vma.Start+guestos.VPN(i), 1, 0); err != nil {
-				b.Fatal(err)
+				tb.Fatal(err)
 			}
 		}
 		indexed.ScanNext()
@@ -354,8 +355,8 @@ type benchFrameSource struct {
 	m *memsim.Machine
 }
 
-func benchSource(b *testing.B) *benchFrameSource {
-	b.Helper()
+func benchSource(tb testing.TB) *benchFrameSource {
+	tb.Helper()
 	return &benchFrameSource{
 		m: memsim.NewMachine(1<<20, 1<<20, memsim.FastTierSpec(), memsim.SlowTierSpec()),
 	}
@@ -497,5 +498,68 @@ func BenchmarkRunnerBatchWorkers1(b *testing.B) {
 func BenchmarkRunnerBatchWorkersMax(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		benchRunnerBatch(b, runtime.GOMAXPROCS(0))
+	}
+}
+
+// --- Observability: instrumented hot paths stay allocation-free ---
+
+// TestInstrumentedChokepointsZeroAlloc extends the allocation
+// assertions to the observability-instrumented chokepoints: with a live
+// obs handle attached and no sinks (the ring wraps and drops — the same
+// steady-state shape as a capped -events run), the scan, ranking,
+// engine-charge, and guest-touch hot paths must stay 0 allocs/op.
+func TestInstrumentedChokepointsZeroAlloc(t *testing.T) {
+	handle := obs.New()
+	scope := handle.Scope(1, func() sim.Duration { return 0 })
+
+	src, _, indexed := benchRankingScanners(t)
+	indexed.AttachObs(scope)
+	eng := memsim.NewEngine(src.m)
+	eng.Obs = memsim.NewEngineObs(handle.Metrics)
+	charge := memsim.EpochCharge{Instr: 1 << 20, Threads: 1, MLP: 1, BytesPerMiss: 64}
+	charge.Traffic[memsim.FastMem] = memsim.TierTraffic{LoadMisses: 1000, StoreMisses: 100}
+	charge.Traffic[memsim.SlowMem] = memsim.TierTraffic{LoadMisses: 500, StoreMisses: 50}
+
+	// The allocator fast path with probes attached (aware guest, anon
+	// pages steered to FastMem): steady-state touches of present pages.
+	src2 := benchSource(t)
+	osys, err := guestos.New(guestos.Config{
+		CPUs: 4, Aware: true,
+		FastMaxPages: 32768, SlowMaxPages: 32768,
+		BootFastPages: 32768, BootSlowPages: 32768,
+		Placement: benchPlacement(),
+		Source:    src2, TierOf: src2.TierOf, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	osys.AttachObs(handle.Scope(2, func() sim.Duration { return 0 }))
+	vma, err := osys.AS.Mmap(16384, guestos.KindAnon, guestos.NilFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16384; i++ { // fault everything in once
+		if _, err := osys.TouchVPN(vma.Start+guestos.VPN(i), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var vpn int
+	paths := map[string]func(){
+		"Scanner.ScanNext":  func() { indexed.ScanNext() },
+		"Scanner.HottestIn": func() { indexed.HottestIn(src.m, memsim.SlowMem, 64) },
+		"Scanner.ColdestIn": func() { indexed.ColdestIn(src.m, memsim.SlowMem, 64) },
+		"Engine.Charge":     func() { eng.Charge(charge) },
+		"OS.TouchVPN": func() {
+			vpn = (vpn + 1) % 16384
+			if _, err := osys.TouchVPN(vma.Start+guestos.VPN(vpn), 1, 0); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, fn := range paths {
+		fn() // warm scratch buffers
+		if n := testing.AllocsPerRun(100, fn); n != 0 {
+			t.Errorf("%s allocates %v per op with obs attached, want 0", name, n)
+		}
 	}
 }

@@ -16,10 +16,15 @@
 //
 //	heterobench -exp figure9 -cpuprofile cpu.out   # CPU profile of the run
 //	heterobench -exp figure9 -memprofile mem.out   # heap profile at exit
+//
+// Observability:
+//
+//	heterobench -exp figure6 -metrics m.csv   # per-run metrics snapshots
 package main
 
 import (
 	"context"
+	"encoding/csv"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,10 +32,74 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"sync"
 	"time"
 
 	"heteroos/internal/exp"
+	"heteroos/internal/obs"
 )
+
+// obsCollector gathers per-run observability handles from the sweep
+// pool (submission happens from the main goroutine, but the factory is
+// shared across experiments, so guard anyway) and writes one CSV row
+// per metric per run.
+type obsCollector struct {
+	mu   sync.Mutex
+	runs []obsRun
+	w    *csv.Writer
+}
+
+type obsRun struct {
+	label  string
+	seed   uint64
+	handle *obs.Obs
+}
+
+// factory is the runner.Options.NewObs hook.
+func (c *obsCollector) factory(label string, seed uint64) *obs.Obs {
+	h := obs.New()
+	h.SetRunTag(label)
+	c.mu.Lock()
+	c.runs = append(c.runs, obsRun{label: label, seed: seed, handle: h})
+	c.mu.Unlock()
+	return h
+}
+
+// flush writes the collected runs' snapshots under experiment id and
+// clears the collection. Runs are written in submission order, so the
+// file is deterministic for a fixed config.
+func (c *obsCollector) flush(expID string) error {
+	c.mu.Lock()
+	runs := c.runs
+	c.runs = nil
+	c.mu.Unlock()
+	for _, r := range runs {
+		snap := r.handle.Metrics.Snapshot()
+		for i := range snap.Values {
+			v := &snap.Values[i]
+			rec := []string{
+				expID, r.label, strconv.FormatUint(r.seed, 10),
+				v.Name, v.Kind.String(),
+				strconv.FormatFloat(v.Value, 'g', -1, 64),
+			}
+			if v.Kind == obs.KindHistogram {
+				rec = append(rec,
+					strconv.FormatFloat(v.Sum, 'g', -1, 64),
+					strconv.FormatFloat(v.Quantile(0.50), 'g', -1, 64),
+					strconv.FormatFloat(v.Quantile(0.99), 'g', -1, 64),
+					strconv.FormatFloat(v.Max, 'g', -1, 64))
+			} else {
+				rec = append(rec, "", "", "", "")
+			}
+			if err := c.w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	c.w.Flush()
+	return c.w.Error()
+}
 
 func main() {
 	var (
@@ -43,6 +112,7 @@ func main() {
 		format     = flag.String("format", "text", "output format: text, markdown, csv")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to `file`")
 		memprofile = flag.String("memprofile", "", "write a heap profile to `file` at exit")
+		metricsOut = flag.String("metrics", "", "write per-run metrics snapshots (CSV) to `file`")
 	)
 	flag.Parse()
 
@@ -92,6 +162,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  [%d/%d] %s\n", done, submitted, label)
 		}
 	}
+	var collector *obsCollector
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heterobench: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		collector = &obsCollector{w: csv.NewWriter(f)}
+		if err := collector.w.Write([]string{
+			"experiment", "run", "seed", "metric", "kind",
+			"value", "sum", "p50", "p99", "max"}); err != nil {
+			fmt.Fprintf(os.Stderr, "heterobench: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+		opts.NewObs = collector.factory
+	}
 	var todo []exp.Experiment
 	if *expID == "all" {
 		todo = exp.Registry()
@@ -125,6 +212,12 @@ func main() {
 		}
 		if res.Notes != "" {
 			fmt.Println(res.Notes)
+		}
+		if collector != nil {
+			if err := collector.flush(e.ID); err != nil {
+				fmt.Fprintf(os.Stderr, "heterobench: -metrics: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		if *format == "text" {
 			fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())

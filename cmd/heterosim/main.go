@@ -7,6 +7,13 @@
 //	heterosim -app GraphChi -mode HeteroOS-coordinated -ratio 4
 //	heterosim -app LevelDB -mode Heap-IO-Slab-OD -ratio 8 -seed 7
 //	heterosim -modes                    # list mode names
+//
+// Observability:
+//
+//	heterosim -events=out.jsonl         # structured event stream (JSONL)
+//	heterosim -chrome-trace=out.trace   # Perfetto / chrome://tracing export
+//	heterosim -metrics=out.csv          # end-of-run metrics snapshot
+//	heterosim -trace -format=csv        # per-epoch series as CSV
 package main
 
 import (
@@ -14,13 +21,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 
 	"heteroos/internal/core"
 	"heteroos/internal/memsim"
+	"heteroos/internal/obs"
 	"heteroos/internal/policy"
 	"heteroos/internal/workload"
+
+	"heteroos/internal/metrics"
 )
 
 func main() {
@@ -31,6 +42,10 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		listModes = flag.Bool("modes", false, "list mode names and exit")
 		trace     = flag.Bool("trace", false, "print a per-epoch time series")
+		format    = flag.String("format", "text", "trace/metrics table format: text, csv, or markdown")
+		events    = flag.String("events", "", "write structured events as JSON lines to this file")
+		chrome    = flag.String("chrome-trace", "", "write a Chrome trace_event export (Perfetto-loadable) to this file")
+		metricsF  = flag.String("metrics", "", "write an end-of-run metrics snapshot (CSV) to this file")
 	)
 	flag.Parse()
 
@@ -39,6 +54,12 @@ func main() {
 			fmt.Printf("%-22s %s\n", m.Name, m.Description)
 		}
 		return
+	}
+	switch *format {
+	case "text", "csv", "markdown":
+	default:
+		fmt.Fprintf(os.Stderr, "heterosim: unknown -format %q (want text, csv, or markdown)\n", *format)
+		os.Exit(2)
 	}
 
 	mode, err := policy.ByName(*modeName)
@@ -68,11 +89,54 @@ func main() {
 			FastPages: fast, SlowPages: slow,
 		}},
 	}
+
+	// Observability is constructed only when an output was requested:
+	// the default path hands core a nil handle and stays byte-identical
+	// to an uninstrumented build.
+	var handle *obs.Obs
+	var outFiles []*os.File
+	if *events != "" || *chrome != "" || *metricsF != "" {
+		handle = obs.New()
+		runTag := fmt.Sprintf("%s/%s ratio=%d seed=%d", *app, *modeName, *ratio, *seed)
+		handle.SetRunTag(runTag)
+		openSink := func(path string, mk func(wr io.Writer, run string) obs.Sink) {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "heterosim:", err)
+				os.Exit(2)
+			}
+			outFiles = append(outFiles, f)
+			handle.Tracer.AddSink(mk(f, runTag))
+		}
+		if *events != "" {
+			openSink(*events, func(wr io.Writer, run string) obs.Sink { return obs.NewJSONLSink(wr, run) })
+		}
+		if *chrome != "" {
+			openSink(*chrome, func(wr io.Writer, run string) obs.Sink { return obs.NewChromeTraceSink(wr, run) })
+		}
+		cfg.Obs = handle
+	}
+	closeObs := func() {
+		if handle == nil {
+			return
+		}
+		if err := handle.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "heterosim: event sink:", err)
+		}
+		for _, f := range outFiles {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "heterosim:", err)
+			}
+		}
+		outFiles = nil
+	}
+
 	// Ctrl-C cancels the run at the next simulation epoch.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	res, sys, err := core.RunSingleContext(ctx, cfg)
 	if err != nil {
+		closeObs()
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "heterosim: interrupted")
 			os.Exit(130)
@@ -104,13 +168,34 @@ func main() {
 
 	if *trace {
 		fmt.Println()
-		fmt.Println("epoch  total(ms)   cpu(ms)  memF(ms)  memS(ms)    os(ms)  demote  promote  fastFree%")
-		for _, tr := range sys.VMs[0].TraceLog {
-			fmt.Printf("%5d  %9.1f %9.1f %9.1f %9.1f %9.1f  %6d  %7d  %8.1f\n",
-				tr.Epoch,
-				float64(tr.Total)/1e6, float64(tr.CPU)/1e6,
-				float64(tr.MemFast)/1e6, float64(tr.MemSlow)/1e6, float64(tr.OS)/1e6,
-				tr.Demotions, tr.Promotions, tr.FastFreePct)
+		t := core.TraceTable(fmt.Sprintf("%s / %s per-epoch trace", prof.Name, mode.Name),
+			sys.VMs[0].TraceLog)
+		renderTable(t, *format, os.Stdout)
+	}
+
+	if *metricsF != "" {
+		f, err := os.Create(*metricsF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "heterosim:", err)
+			os.Exit(2)
 		}
+		snap := handle.Metrics.Snapshot()
+		snap.Table("metrics: " + handle.RunTag()).RenderCSV(f)
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "heterosim:", err)
+		}
+	}
+	closeObs()
+}
+
+// renderTable writes t in the selected format.
+func renderTable(t *metrics.Table, format string, w io.Writer) {
+	switch format {
+	case "csv":
+		t.RenderCSV(w)
+	case "markdown":
+		t.RenderMarkdown(w)
+	default:
+		t.Render(w)
 	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"heteroos/internal/guestos"
 	"heteroos/internal/memsim"
+	"heteroos/internal/obs"
 	"heteroos/internal/policy"
 	"heteroos/internal/sim"
 	"heteroos/internal/vmm"
@@ -85,6 +86,12 @@ type Config struct {
 	// Trace records a per-epoch time series in each VMInstance (memory
 	// profiles over time; used by heterosim -trace and tooling).
 	Trace bool
+	// Obs, when non-nil, enables the observability subsystem: every
+	// layer registers its metrics into Obs.Metrics at boot and emits
+	// structured events into Obs.Tracer at its chokepoints. nil (the
+	// default) keeps the hot path allocation-free and the simulation
+	// output byte-identical — observation never alters behaviour.
+	Obs *obs.Obs
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -227,6 +234,10 @@ type VMInstance struct {
 	Res   VMResult
 	// TraceLog holds the per-epoch series when Config.Trace is set.
 	TraceLog []EpochTrace
+
+	// obsScope and probes are set when Config.Obs is enabled.
+	obsScope *obs.Scope
+	probes   *coreProbes
 }
 
 // EpochTrace is one sample of a VM's per-epoch time series.
@@ -326,6 +337,9 @@ func NewSystem(cfg Config) (*System, error) {
 	s.VMM = vmm.New(s.Machine, share)
 	s.Engine = memsim.NewEngine(s.Machine)
 	s.Engine.CPU = cfg.CPU
+	if cfg.Obs != nil {
+		s.Engine.Obs = memsim.NewEngineObs(cfg.Obs.Metrics)
+	}
 
 	for _, vc := range cfg.VMs {
 		inst, err := s.bootVM(vc)
@@ -334,7 +348,25 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		s.VMs = append(s.VMs, inst)
 	}
+	if cfg.Obs != nil && s.drf != nil {
+		// DRF rebalancing is a cross-VM action: it reports on the
+		// system scope (VM 0), timestamped by the furthest-advanced
+		// VM clock.
+		s.drf.AttachObs(cfg.Obs.Scope(0, s.latestClock))
+	}
 	return s, nil
+}
+
+// latestClock reports the furthest-advanced VM clock, the natural
+// timestamp for system-scope (cross-VM) events.
+func (s *System) latestClock() sim.Duration {
+	var max sim.Duration
+	for _, inst := range s.VMs {
+		if d := sim.Duration(inst.Clock.Now()); d > max {
+			max = d
+		}
+	}
+	return max
 }
 
 func (s *System) bootVM(vc VMConfig) (*VMInstance, error) {
@@ -465,10 +497,31 @@ func (s *System) bootVM(vc VMConfig) (*VMInstance, error) {
 		// boot-time seed sweep is the only full scan the index ever does.
 		os.SetPageIndexer(vmm.NewHeatIndex(inst.scanner, s.Machine.TierOf))
 	}
+	if s.Cfg.Obs != nil {
+		// Attach after every scanner/migrator knob is final and before
+		// the workload touches memory, so boot-time activity is already
+		// observed. The scope's clock closure reads the instance clock
+		// at emission time.
+		scope := s.Cfg.Obs.Scope(int(vc.ID), inst.simNow)
+		inst.obsScope = scope
+		inst.probes = newCoreProbes(scope)
+		os.AttachObs(scope)
+		if inst.scanner != nil {
+			inst.scanner.AttachObs(scope)
+		}
+		if inst.migrator != nil {
+			inst.migrator.AttachObs(scope)
+		}
+	}
 	if err := vc.Workload.Init(os); err != nil {
 		return nil, fmt.Errorf("core: init workload on VM %d: %w", vc.ID, err)
 	}
 	return inst, nil
+}
+
+// simNow reports the instance's current simulated time.
+func (inst *VMInstance) simNow() sim.Duration {
+	return sim.Duration(inst.Clock.Now())
 }
 
 // VMResultByID fetches a VM's results.

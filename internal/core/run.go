@@ -199,13 +199,7 @@ func (s *System) stepVM(inst *VMInstance) error {
 
 	// 7. Accumulate results.
 	if s.Cfg.Trace {
-		var freePct float64
-		if inst.Mode.GuestAware {
-			fast := inst.OS.Node(memsim.FastMem)
-			if fast.MaxPages > 0 {
-				freePct = 100 * float64(fast.FreePages()) / float64(fast.MaxPages)
-			}
-		}
+		freePct := inst.fastFreePct()
 		if inst.TraceLog == nil {
 			// One up-front allocation sized for the whole run keeps the
 			// epoch hot path free of append growth.
@@ -244,6 +238,9 @@ func (s *System) stepVM(inst *VMInstance) error {
 	r.CacheEvictions += st.CacheEvictions
 	r.DiskReadPages += st.DiskReadPages
 	r.DiskWritePages += st.DiskWritePages
+	if inst.probes != nil {
+		inst.probes.observeEpoch(&cost, inst.fastFreePct(), inst.moveBudget)
+	}
 
 	if done {
 		inst.Done = true

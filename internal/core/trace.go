@@ -1,0 +1,71 @@
+package core
+
+import (
+	"heteroos/internal/memsim"
+	"heteroos/internal/metrics"
+	"heteroos/internal/obs"
+)
+
+// coreProbes is the epoch loop's instrument set: epoch counts and cost
+// distributions plus the FastMem pressure gauges the trace series also
+// samples. Registered once at boot; stepVM updates them behind one nil
+// check.
+type coreProbes struct {
+	epochs     *obs.Counter
+	epochNs    *obs.Histogram
+	osNs       *obs.Histogram
+	fastFree   *obs.Gauge
+	moveBudget *obs.Gauge
+}
+
+// newCoreProbes registers the epoch-loop instruments on scope.
+func newCoreProbes(scope *obs.Scope) *coreProbes {
+	return &coreProbes{
+		epochs:     scope.Counter("core.epochs"),
+		epochNs:    scope.Histogram("core.epoch_total_ns"),
+		osNs:       scope.Histogram("core.epoch_os_ns"),
+		fastFree:   scope.Gauge("core.fast_free_pct"),
+		moveBudget: scope.Gauge("core.move_budget"),
+	}
+}
+
+// observeEpoch records one priced epoch.
+func (p *coreProbes) observeEpoch(cost *memsim.EpochCost, fastFreePct float64, moveBudget int) {
+	p.epochs.Inc()
+	p.epochNs.Observe(float64(cost.Total))
+	p.osNs.Observe(float64(cost.OSTime))
+	p.fastFree.Set(fastFreePct)
+	p.moveBudget.Set(float64(moveBudget))
+}
+
+// fastFreePct samples the VM's free-FastMem percentage (0 for
+// heterogeneity-unaware guests, whose single node spans both tiers).
+func (inst *VMInstance) fastFreePct() float64 {
+	if !inst.Mode.GuestAware {
+		return 0
+	}
+	fast := inst.OS.Node(memsim.FastMem)
+	if fast.MaxPages == 0 {
+		return 0
+	}
+	return 100 * float64(fast.FreePages()) / float64(fast.MaxPages)
+}
+
+// TraceTable renders a per-epoch trace series (VMInstance.TraceLog,
+// recorded under Config.Trace) as a metrics.Table: one row per epoch
+// with the priced cost breakdown, miss counts, migration counts, and
+// FastMem headroom. Durations are reported in milliseconds.
+func TraceTable(title string, log []EpochTrace) *metrics.Table {
+	t := metrics.NewTable(title,
+		"epoch", "total_ms", "cpu_ms", "fast_ms", "slow_ms", "os_ms",
+		"fast_miss", "slow_miss", "demote", "promote", "fast_free_pct")
+	for _, e := range log {
+		t.AddRow(e.Epoch,
+			float64(e.Total)/1e6, float64(e.CPU)/1e6,
+			float64(e.MemFast)/1e6, float64(e.MemSlow)/1e6,
+			float64(e.OS)/1e6,
+			e.FastMisses, e.SlowMisses, e.Demotions, e.Promotions,
+			e.FastFreePct)
+	}
+	return t
+}

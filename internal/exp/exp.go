@@ -23,6 +23,7 @@ import (
 	"heteroos/internal/core"
 	"heteroos/internal/memsim"
 	"heteroos/internal/metrics"
+	"heteroos/internal/obs"
 	"heteroos/internal/policy"
 	"heteroos/internal/runner"
 	"heteroos/internal/workload"
@@ -41,6 +42,10 @@ type Options struct {
 	// completes with the counts of finished and submitted cells and the
 	// finished cell's label.
 	Progress func(done, submitted int, label string)
+	// NewObs, when set, is forwarded to the runner: each sweep cell
+	// gets its own observability handle built from its label and seed
+	// (see runner.Options.NewObs).
+	NewObs func(label string, seed uint64) *obs.Obs
 }
 
 func (o Options) seed() uint64 {
@@ -137,7 +142,7 @@ type sweep struct {
 }
 
 func newSweep(ctx context.Context, o Options) *sweep {
-	ropts := runner.Options{Workers: o.Workers}
+	ropts := runner.Options{Workers: o.Workers, NewObs: o.NewObs}
 	if o.Progress != nil {
 		ropts.Progress = func(done, submitted int, r runner.Result) {
 			o.Progress(done, submitted, r.Label)

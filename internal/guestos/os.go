@@ -6,6 +6,7 @@ import (
 	"heteroos/internal/guestos/pagecache"
 	"heteroos/internal/guestos/slab"
 	"heteroos/internal/memsim"
+	"heteroos/internal/obs"
 	"heteroos/internal/sim"
 )
 
@@ -123,6 +124,9 @@ type OS struct {
 	// indexer, when attached, mirrors page state into the VMM's
 	// heat-bucket index.
 	indexer PageIndexer
+	// obs, when attached, carries the preregistered observability
+	// probes (see probe.go); nil means observability is off.
+	obs *osProbes
 	// trackBuf backs TrackingList so the per-pass export allocates
 	// nothing in steady state.
 	trackBuf []PFN
@@ -364,6 +368,11 @@ func (o *OS) populateNode(idx int, want uint64) uint64 {
 	got := uint64(len(mfns))
 	o.ep.BalloonPagesIn += got
 	o.ep.OSTimeNs += float64(got) * o.costs.BalloonPerPageNs
+	if o.obs != nil && got > 0 {
+		o.obs.balloonIn.Add(got)
+		o.obs.scope.Emit(obs.EvBalloon, obs.DirDeflate, o.nodeTierByte(idx),
+			0, got, 0, float64(got)*o.costs.BalloonPerPageNs)
+	}
 	return got
 }
 
@@ -398,6 +407,14 @@ func (o *OS) allocPage(kind PageKind, cpu int) (PFN, bool) {
 		o.Window.Record(kind, wantFast && o.cfg.Aware, tier)
 		o.WindowLife.Record(kind, wantFast && o.cfg.Aware, tier)
 		o.initPage(pfn, kind, wantFast && tier != memsim.FastMem)
+		if o.obs != nil && wantFast && o.cfg.Aware {
+			o.obs.fastAllocReqs.Inc()
+			if tier != memsim.FastMem {
+				o.obs.fastAllocMiss.Inc()
+				o.obs.scope.Emit(obs.EvAllocMiss, obs.DirNone, uint8(tier),
+					uint64(pfn), 1, 0, 0)
+			}
+		}
 		return pfn, true
 	}
 	return NilPFN, false
@@ -707,6 +724,11 @@ func (o *OS) releaseFreeFrames(idx int, want uint64) uint64 {
 	}
 	o.cfg.Source.Release(mfns)
 	o.ep.OSTimeNs += float64(len(mfns)) * o.costs.BalloonPerPageNs
+	if o.obs != nil {
+		o.obs.balloonOut.Add(uint64(len(mfns)))
+		o.obs.scope.Emit(obs.EvBalloon, obs.DirInflate, o.nodeTierByte(idx),
+			0, uint64(len(mfns)), 0, float64(len(mfns))*o.costs.BalloonPerPageNs)
+	}
 	return uint64(len(mfns))
 }
 

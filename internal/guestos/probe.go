@@ -1,0 +1,61 @@
+package guestos
+
+import "heteroos/internal/obs"
+
+// osProbes is the guest OS's preregistered observability instrument
+// set. All counters and histograms are registered once in AttachObs;
+// the chokepoints (migration, reclaim, balloon, allocation placement)
+// update them behind a single `o.obs != nil` check, so the default
+// (unattached) path costs one predictable branch and the attached path
+// never allocates.
+type osProbes struct {
+	scope          *obs.Scope
+	promotions     *obs.Counter
+	demotions      *obs.Counter
+	migrateNs      *obs.Histogram
+	balloonIn      *obs.Counter
+	balloonOut     *obs.Counter
+	cacheEvictions *obs.Counter
+	fastAllocReqs  *obs.Counter
+	fastAllocMiss  *obs.Counter
+	reclaimPasses  *obs.Counter
+	reclaimFreed   *obs.Counter
+	reclaimFreedH  *obs.Histogram
+	lruRotations   *obs.Counter
+	swapOuts       *obs.Counter
+}
+
+// AttachObs wires the guest OS's probes into scope (typically the
+// per-VM scope core built). Call once at boot, before the first epoch;
+// a nil scope leaves observability off.
+func (o *OS) AttachObs(scope *obs.Scope) {
+	if scope == nil {
+		return
+	}
+	o.obs = &osProbes{
+		scope:          scope,
+		promotions:     scope.Counter("guestos.promotions"),
+		demotions:      scope.Counter("guestos.demotions"),
+		migrateNs:      scope.Histogram("guestos.migrate_ns"),
+		balloonIn:      scope.Counter("guestos.balloon_pages_in"),
+		balloonOut:     scope.Counter("guestos.balloon_pages_out"),
+		cacheEvictions: scope.Counter("guestos.cache_evictions"),
+		fastAllocReqs:  scope.Counter("guestos.fast_alloc_requests"),
+		fastAllocMiss:  scope.Counter("guestos.fast_alloc_misses"),
+		reclaimPasses:  scope.Counter("guestos.reclaim_passes"),
+		reclaimFreed:   scope.Counter("guestos.reclaim_freed_pages"),
+		reclaimFreedH:  scope.Histogram("guestos.reclaim_freed_per_pass"),
+		lruRotations:   scope.Counter("guestos.lru_rotations"),
+		swapOuts:       scope.Counter("guestos.swap_outs"),
+	}
+}
+
+// nodeTierByte maps node idx to the event tier byte: the node's tier in
+// aware mode, TierNone in transparent mode where the single node's
+// backing frames span both tiers.
+func (o *OS) nodeTierByte(idx int) uint8 {
+	if !o.cfg.Aware {
+		return obs.TierNone
+	}
+	return uint8(o.nodes[idx].Tier)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"heteroos/internal/memsim"
+	"heteroos/internal/obs"
 )
 
 // reclaimNode frees up to target pages from node idx by walking the
@@ -39,7 +40,7 @@ func (o *OS) reclaimNode(idx int, target uint64) uint64 {
 func (o *OS) reclaimPass(idx int, target uint64, cacheOnly bool) uint64 {
 	n := o.nodes[idx]
 	l := o.lrus[idx]
-	var freed uint64
+	var freed, rotations uint64
 	// Refill the inactive list if it ran dry.
 	if l.InactiveCount() == 0 {
 		o.balanceBuf = l.BalanceInto(o.balanceBuf[:0], int(2*target))
@@ -62,6 +63,7 @@ walk:
 		p := o.store.Page(pfn)
 		if p.Has(FlagAccessed) {
 			l.RotateInactive(pfn)
+			rotations++
 			continue
 		}
 		// Recency guard: a page used within the last two epochs is part
@@ -77,6 +79,7 @@ walk:
 		}
 		if p.LastUse+guard >= o.epoch && o.epoch >= 2 {
 			l.RotateInactive(pfn)
+			rotations++
 			continue
 		}
 		// Coordination guard: pages the tracker knows are decisively hot
@@ -86,6 +89,7 @@ walk:
 		// starves. (ScanHeat is zero outside coordinated mode.)
 		if p.ScanHeat >= 6 {
 			l.RotateInactive(pfn)
+			rotations++
 			continue
 		}
 		switch p.Kind {
@@ -96,6 +100,7 @@ walk:
 		case KindAnon:
 			if cacheOnly {
 				l.RotateInactive(pfn)
+				rotations++
 				continue
 			}
 			if n.Tier == memsim.FastMem && o.cfg.Aware {
@@ -116,6 +121,17 @@ walk:
 			panic(fmt.Sprintf("guestos: kind %v page %d on LRU", p.Kind, pfn))
 		}
 	}
+	if o.obs != nil {
+		o.obs.reclaimPasses.Inc()
+		o.obs.reclaimFreed.Add(freed)
+		o.obs.lruRotations.Add(rotations)
+		o.obs.reclaimFreedH.Observe(float64(freed))
+		dir := obs.DirFull
+		if cacheOnly {
+			dir = obs.DirCacheOnly
+		}
+		o.obs.scope.Emit(obs.EvReclaim, dir, o.nodeTierByte(idx), 0, freed, rotations, 0)
+	}
 	return freed
 }
 
@@ -135,6 +151,11 @@ func (o *OS) evictCachePage(pfn PFN) bool {
 		o.ep.OSTimeNs += o.costs.DiskWritePageNs
 	}
 	o.ep.CacheEvictions++
+	if o.obs != nil {
+		o.obs.cacheEvictions.Inc()
+		o.obs.scope.Emit(obs.EvCacheEvict, obs.DirNone,
+			o.nodeTierByte(o.nodeIndexOf(pfn)), uint64(pfn), 1, 0, 0)
+	}
 	return true
 }
 
@@ -328,6 +349,22 @@ func (o *OS) movePageAcrossNodes(pfn PFN, target memsim.Tier, promotion bool) bo
 				pfn: newPfn, tag: dstPg.Tag, epoch: o.epoch})
 		}
 	}
+	if o.obs != nil {
+		moveNs := o.costs.MigratePageWalkNs + o.costs.MigratePageCopyNs +
+			o.costs.TLBFlushNs/migrationTLBBatch
+		dir := obs.DirDemote
+		if promotion {
+			dir = obs.DirPromote
+			o.obs.promotions.Inc()
+		} else {
+			o.obs.demotions.Inc()
+		}
+		o.obs.migrateNs.Observe(moveNs)
+		// PFN is the page's new identity on the target node; Aux keeps
+		// the source PFN so traces can follow a page across moves.
+		o.obs.scope.Emit(obs.EvMigration, dir, uint8(target),
+			uint64(newPfn), 1, uint64(pfn), moveNs)
+	}
 	return true
 }
 
@@ -356,6 +393,9 @@ func (o *OS) swapOutPage(pfn PFN) bool {
 	o.freePage(pfn)
 	o.ep.SwapOuts++
 	o.ep.OSTimeNs += o.costs.SwapPageNs
+	if o.obs != nil {
+		o.obs.swapOuts.Inc()
+	}
 	return true
 }
 

@@ -1,6 +1,9 @@
 package memsim
 
 import (
+	"strings"
+
+	"heteroos/internal/obs"
 	"heteroos/internal/sim"
 )
 
@@ -65,10 +68,65 @@ type EpochCost struct {
 	BytesOut [NumTiers]uint64
 }
 
+// EngineObs is the engine's preregistered instrument set: how many
+// epochs it priced, the distribution of epoch costs, and per-tier
+// miss/byte/bandwidth-bound accounting. All instruments are registered
+// once at construction; observing them in Charge is plain field
+// arithmetic, so the hot path stays allocation-free.
+type EngineObs struct {
+	charges  *obs.Counter
+	epochNs  *obs.Histogram
+	osNs     *obs.Histogram
+	memNs    [NumTiers]*obs.Histogram
+	misses   [NumTiers]*obs.Counter
+	bytesOut [NumTiers]*obs.Counter
+	bwBound  [NumTiers]*obs.Counter
+}
+
+// NewEngineObs registers the engine's instruments in reg under the
+// "memsim." namespace.
+func NewEngineObs(reg *obs.Registry) *EngineObs {
+	eo := &EngineObs{
+		charges: reg.Counter("memsim.charges"),
+		epochNs: reg.Histogram("memsim.epoch_total_ns"),
+		osNs:    reg.Histogram("memsim.epoch_os_ns"),
+	}
+	for t := Tier(0); t < NumTiers; t++ {
+		name := strings.ToLower(t.String())
+		eo.memNs[t] = reg.Histogram("memsim." + name + ".mem_ns")
+		eo.misses[t] = reg.Counter("memsim." + name + ".misses")
+		eo.bytesOut[t] = reg.Counter("memsim." + name + ".bytes")
+		eo.bwBound[t] = reg.Counter("memsim." + name + ".bw_bound_epochs")
+	}
+	return eo
+}
+
+// observe records one priced epoch.
+func (eo *EngineObs) observe(cost *EpochCost) {
+	eo.charges.Inc()
+	eo.epochNs.Observe(float64(cost.Total))
+	eo.osNs.Observe(float64(cost.OSTime))
+	for t := Tier(0); t < NumTiers; t++ {
+		if cost.Misses[t] == 0 && cost.MemTime[t] == 0 {
+			continue
+		}
+		eo.memNs[t].Observe(float64(cost.MemTime[t]))
+		eo.misses[t].Add(cost.Misses[t])
+		eo.bytesOut[t].Add(cost.BytesOut[t])
+		if cost.BWBound[t] {
+			eo.bwBound[t].Inc()
+		}
+	}
+}
+
 // Engine prices epochs against a machine's tier specs.
 type Engine struct {
 	Machine *Machine
 	CPU     CPU
+	// Obs, when non-nil, receives per-charge accounting. It never
+	// changes pricing; Charge's arithmetic is identical with it on or
+	// off.
+	Obs *EngineObs
 }
 
 // NewEngine builds an engine over m with the default CPU.
@@ -144,5 +202,8 @@ func (e *Engine) Charge(c EpochCharge) EpochCost {
 
 	cost.OSTime = c.OSTime
 	cost.Total = cost.CPUTime + cost.MemTime[FastMem] + cost.MemTime[SlowMem] + cost.OSTime
+	if e.Obs != nil {
+		e.Obs.observe(&cost)
+	}
 	return cost
 }

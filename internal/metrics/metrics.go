@@ -42,18 +42,29 @@ func NewTable(title string, header ...string) *Table {
 }
 
 // AddRow appends one formatted row; values are Sprint'ed with %v except
-// float64, which renders with 2 decimals.
+// float64, which renders through FormatFloat.
 func (t *Table) AddRow(cells ...interface{}) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = fmt.Sprintf("%.2f", v)
+			row[i] = FormatFloat(v)
 		default:
 			row[i] = fmt.Sprint(v)
 		}
 	}
 	t.rows = append(t.rows, row)
+}
+
+// FormatFloat renders a table value: two decimals for ordinary
+// magnitudes, but two significant digits for nonzero values whose
+// magnitude is below 0.005 — an unconditional %.2f would collapse
+// sub-centisecond latencies and small ratios to "0.00".
+func FormatFloat(v float64) string {
+	if v != 0 && v < 0.005 && v > -0.005 {
+		return fmt.Sprintf("%.2g", v)
+	}
+	return fmt.Sprintf("%.2f", v)
 }
 
 // Rows reports the number of data rows.

@@ -32,6 +32,42 @@ func TestSlowdown(t *testing.T) {
 	}
 }
 
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{123.456, "123.46"},
+		{1.5, "1.50"},
+		{0, "0.00"},
+		{0.005, "0.01"},
+		{-1.005, "-1.00"}, // %.2f banker-ish rounding is unchanged
+		// Sub-centi values keep two significant digits instead of
+		// collapsing to 0.00.
+		{0.00312, "0.0031"},
+		{0.0001234, "0.00012"},
+		{-0.00099, "-0.00099"},
+		{4.2e-7, "4.2e-07"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.v); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestAddRowSmallFloats(t *testing.T) {
+	tb := NewTable("S", "name", "ratio")
+	tb.AddRow("tiny", 0.00312)
+	tb.AddRow("zero", 0.0)
+	if tb.Cell(0, 1) != "0.0031" {
+		t.Errorf("small float cell = %q, want %q", tb.Cell(0, 1), "0.0031")
+	}
+	if tb.Cell(1, 1) != "0.00" {
+		t.Errorf("zero cell = %q, want %q", tb.Cell(1, 1), "0.00")
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tb := NewTable("Demo", "App", "Gain")
 	tb.Caption = "caption line"

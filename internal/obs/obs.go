@@ -1,0 +1,124 @@
+package obs
+
+import "heteroos/internal/sim"
+
+// Obs bundles one run's tracer and metrics registry. A nil *Obs means
+// observability is off; every instrumented layer guards its probes
+// with a nil check on its attached scope, so the default path never
+// touches this package at runtime.
+type Obs struct {
+	// Tracer is the run's event ring.
+	Tracer *Tracer
+	// Metrics is the run's instrument registry.
+	Metrics *Registry
+	runTag  string
+}
+
+// New builds an enabled observability handle with a default-capacity
+// tracer (no sinks — events are counted and dropped until a sink is
+// attached) and an empty registry.
+func New() *Obs {
+	return &Obs{Tracer: NewTracer(0), Metrics: NewRegistry()}
+}
+
+// SetRunTag labels the handle with the run's identity (experiment
+// label, CLI config, seed) so exporters can stamp their output.
+func (o *Obs) SetRunTag(tag string) {
+	if o != nil {
+		o.runTag = tag
+	}
+}
+
+// RunTag returns the label set by SetRunTag.
+func (o *Obs) RunTag() string {
+	if o == nil {
+		return ""
+	}
+	return o.runTag
+}
+
+// Close flushes the tracer and closes its sinks.
+func (o *Obs) Close() error {
+	if o == nil || o.Tracer == nil {
+		return nil
+	}
+	return o.Tracer.Close()
+}
+
+// Scope is the per-VM view layers hold: it stamps emitted events with
+// the VM id and the VM's simulated clock, and namespaces metric names
+// ("vm1.guestos.demotions"). Core builds one scope per VM at boot and
+// hands it down; a nil *Scope disables every method, which is what
+// makes `if scope != nil` the only guard call sites need.
+type Scope struct {
+	o   *Obs
+	vm  int32
+	now func() sim.Duration
+}
+
+// Scope derives a scope for vm whose events are timestamped by now.
+// vm 0 is the system scope (VMM-global actions such as DRF
+// rebalances); its metric names are not prefixed.
+func (o *Obs) Scope(vm int, now func() sim.Duration) *Scope {
+	if o == nil {
+		return nil
+	}
+	return &Scope{o: o, vm: int32(vm), now: now}
+}
+
+// prefix returns the scope's metric-name prefix.
+func (s *Scope) prefix() string {
+	if s.vm == 0 {
+		return ""
+	}
+	return "vm" + itoa(int(s.vm)) + "."
+}
+
+// itoa is a tiny positive-int formatter; scopes are built at boot so
+// this is not hot, it just avoids importing strconv into every caller
+// chain for two-digit VM ids.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Counter registers (or finds) the scope-prefixed counter name.
+func (s *Scope) Counter(name string) *Counter {
+	return s.o.Metrics.Counter(s.prefix() + name)
+}
+
+// Gauge registers (or finds) the scope-prefixed gauge name.
+func (s *Scope) Gauge(name string) *Gauge {
+	return s.o.Metrics.Gauge(s.prefix() + name)
+}
+
+// Histogram registers (or finds) the scope-prefixed histogram name.
+func (s *Scope) Histogram(name string) *Histogram {
+	return s.o.Metrics.Histogram(s.prefix() + name)
+}
+
+// Emit records an event stamped with the scope's VM id and current
+// simulated time. Zero-allocation: the event lands in the tracer's
+// preallocated ring.
+func (s *Scope) Emit(typ Type, dir Dir, tier uint8, pfn, n, aux uint64, cost float64) {
+	s.o.Tracer.Emit(Event{
+		Time: s.now(),
+		VM:   s.vm,
+		Type: typ,
+		Dir:  dir,
+		Tier: tier,
+		PFN:  pfn,
+		N:    n,
+		Aux:  aux,
+		Cost: cost,
+	})
+}

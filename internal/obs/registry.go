@@ -1,0 +1,333 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+
+	"heteroos/internal/metrics"
+)
+
+// Kind distinguishes the registry's instrument types.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter Kind = iota
+	// KindGauge is a last-value instrument.
+	KindGauge
+	// KindHistogram is a log2-bucketed distribution.
+	KindHistogram
+)
+
+// String names the kind for snapshot tables.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is a monotonically increasing count. Updates are plain field
+// stores: each sweep job owns its registry, so no atomics are needed
+// and Inc stays allocation- and contention-free.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge records the most recent value of a quantity that can move in
+// both directions (free-page percentages, budgets).
+type Gauge struct{ v float64 }
+
+// Set records v.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the last recorded value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// histBuckets covers the full uint64 range: bucket i counts values v
+// with bits.Len64(v) == i, i.e. bucket 0 holds zero and bucket i>0
+// holds [2^(i-1), 2^i). Log-scaled buckets keep nanosecond latencies
+// and page counts in one cheap fixed-size instrument.
+const histBuckets = 65
+
+// Histogram is a log2-bucketed distribution of non-negative values
+// (latencies in ns, sizes in pages). Observe is a couple of integer
+// ops and never allocates.
+type Histogram struct {
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     float64
+	max     uint64
+}
+
+// Observe records v. Negative values clamp to zero.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	h.buckets[bits.Len64(u)]++
+	h.count++
+	h.sum += v
+	if u > h.max {
+		h.max = u
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// quantile estimates the q-quantile (0 < q <= 1) from bucket counts:
+// the upper bound of the bucket where the cumulative count crosses
+// q*total, clamped to the observed max. Within a factor of 2, which is
+// all a log-scaled histogram promises.
+func quantileOf(buckets *[histBuckets]uint64, count, max uint64, q float64) float64 {
+	if count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += buckets[i]
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			upper := math.Ldexp(1, i) // 2^i, exact beyond uint64 range
+			if float64(max) < upper {
+				return float64(max)
+			}
+			return upper
+		}
+	}
+	return float64(max)
+}
+
+// Quantile estimates the q-quantile of the observed distribution.
+func (h *Histogram) Quantile(q float64) float64 {
+	return quantileOf(&h.buckets, h.count, h.max, q)
+}
+
+// metric is one registered instrument.
+type metric struct {
+	name string
+	kind Kind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds the named instruments of one run. Registration is
+// idempotent by name — asking for an existing name returns the same
+// instrument — so layers can register at boot without coordinating,
+// and registration order is preserved for deterministic snapshots.
+type Registry struct {
+	byName  map[string]int
+	ordered []metric
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]int)}
+}
+
+// lookup returns the index of name, creating it with kind if absent.
+// A name registered twice with different kinds keeps the first kind;
+// the mismatched request receives a detached instrument so both call
+// sites stay safe (this is a programming error, not a runtime one, and
+// the unit tests pin the taxonomy).
+func (r *Registry) lookup(name string, kind Kind) (int, bool) {
+	if i, ok := r.byName[name]; ok {
+		return i, r.ordered[i].kind == kind
+	}
+	m := metric{name: name, kind: kind}
+	switch kind {
+	case KindCounter:
+		m.c = &Counter{}
+	case KindGauge:
+		m.g = &Gauge{}
+	case KindHistogram:
+		m.h = &Histogram{}
+	}
+	r.byName[name] = len(r.ordered)
+	r.ordered = append(r.ordered, m)
+	return len(r.ordered) - 1, true
+}
+
+// Counter returns the counter registered under name.
+func (r *Registry) Counter(name string) *Counter {
+	i, ok := r.lookup(name, KindCounter)
+	if !ok {
+		return &Counter{}
+	}
+	return r.ordered[i].c
+}
+
+// Gauge returns the gauge registered under name.
+func (r *Registry) Gauge(name string) *Gauge {
+	i, ok := r.lookup(name, KindGauge)
+	if !ok {
+		return &Gauge{}
+	}
+	return r.ordered[i].g
+}
+
+// Histogram returns the histogram registered under name.
+func (r *Registry) Histogram(name string) *Histogram {
+	i, ok := r.lookup(name, KindHistogram)
+	if !ok {
+		return &Histogram{}
+	}
+	return r.ordered[i].h
+}
+
+// Len returns the number of registered instruments.
+func (r *Registry) Len() int { return len(r.ordered) }
+
+// MetricValue is one instrument's state inside a Snapshot.
+type MetricValue struct {
+	// Name is the registered name.
+	Name string
+	// Kind is the instrument type.
+	Kind Kind
+	// Value is the counter count or gauge value; for histograms it is
+	// the observation count.
+	Value float64
+	// Sum is the histogram's value sum (0 otherwise).
+	Sum float64
+	// Max is the histogram's observed maximum (0 otherwise).
+	Max float64
+	// buckets retains histogram bucket counts so Diff can recompute
+	// quantiles over the delta window.
+	buckets [histBuckets]uint64
+}
+
+// Quantile estimates the q-quantile for histogram values (0 for
+// counters and gauges).
+func (m *MetricValue) Quantile(q float64) float64 {
+	if m.Kind != KindHistogram {
+		return 0
+	}
+	return quantileOf(&m.buckets, uint64(m.Value), uint64(m.Max), q)
+}
+
+// Snapshot is a point-in-time copy of every registered instrument, in
+// registration order. Snapshots are plain values: cheap to take per
+// epoch and safe to diff later.
+type Snapshot struct {
+	// Values lists one entry per instrument in registration order.
+	Values []MetricValue
+}
+
+// Snapshot copies the current state of every instrument.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Values: make([]MetricValue, len(r.ordered))}
+	for i, m := range r.ordered {
+		v := MetricValue{Name: m.name, Kind: m.kind}
+		switch m.kind {
+		case KindCounter:
+			v.Value = float64(m.c.v)
+		case KindGauge:
+			v.Value = m.g.v
+		case KindHistogram:
+			v.Value = float64(m.h.count)
+			v.Sum = m.h.sum
+			v.Max = float64(m.h.max)
+			v.buckets = m.h.buckets
+		}
+		s.Values[i] = v
+	}
+	return s
+}
+
+// Diff returns s minus prev: counters and histograms become the delta
+// over the window (histogram quantiles are recomputed from the bucket
+// deltas), gauges keep their latest value. Instruments absent from
+// prev (registered mid-window) diff against zero.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	prevIdx := make(map[string]int, len(prev.Values))
+	for i, v := range prev.Values {
+		prevIdx[v.Name] = i
+	}
+	out := Snapshot{Values: make([]MetricValue, len(s.Values))}
+	for i, v := range s.Values {
+		d := v
+		if j, ok := prevIdx[v.Name]; ok && prev.Values[j].Kind == v.Kind {
+			p := prev.Values[j]
+			switch v.Kind {
+			case KindCounter:
+				d.Value = v.Value - p.Value
+			case KindHistogram:
+				d.Value = v.Value - p.Value
+				d.Sum = v.Sum - p.Sum
+				for b := range d.buckets {
+					d.buckets[b] = v.buckets[b] - p.buckets[b]
+				}
+				// Max is a high-water mark, not differentiable; keep
+				// the cumulative max as the honest upper bound.
+			}
+		}
+		out.Values[i] = d
+	}
+	return out
+}
+
+// Table renders the snapshot as a metrics.Table titled title with one
+// row per instrument: name, kind, value, and (for histograms) sum,
+// mean, p50, p99, and max.
+func (s Snapshot) Table(title string) *metrics.Table {
+	t := metrics.NewTable(title, "metric", "kind", "value", "sum", "mean", "p50", "p99", "max")
+	for i := range s.Values {
+		v := &s.Values[i]
+		if v.Kind != KindHistogram {
+			t.AddRow(v.Name, v.Kind.String(), v.Value, "", "", "", "", "")
+			continue
+		}
+		mean := 0.0
+		if v.Value > 0 {
+			mean = v.Sum / v.Value
+		}
+		t.AddRow(v.Name, v.Kind.String(), v.Value, v.Sum, mean,
+			v.Quantile(0.50), v.Quantile(0.99), v.Max)
+	}
+	return t
+}
+
+// Find returns the metric named name, or nil.
+func (s Snapshot) Find(name string) *MetricValue {
+	for i := range s.Values {
+		if s.Values[i].Name == name {
+			return &s.Values[i]
+		}
+	}
+	return nil
+}
+
+// Sorted returns the value slice sorted by name (snapshots themselves
+// stay in registration order; sorting is for stable test output).
+func (s Snapshot) Sorted() []MetricValue {
+	out := append([]MetricValue(nil), s.Values...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+)
+
+// appendEventFields appends the shared JSON body of an event (without
+// surrounding braces or trailing newline) to b. Field values are
+// appended with strconv so flushing a large batch costs a handful of
+// buffer growths rather than one allocation per event.
+func appendEventFields(b []byte, ev Event) []byte {
+	b = append(b, `"t":`...)
+	b = strconv.AppendInt(b, int64(ev.Time), 10)
+	b = append(b, `,"vm":`...)
+	b = strconv.AppendInt(b, int64(ev.VM), 10)
+	b = append(b, `,"ev":"`...)
+	b = append(b, ev.Type.String()...)
+	b = append(b, `","dir":"`...)
+	b = append(b, ev.Dir.String()...)
+	b = append(b, `","tier":"`...)
+	b = append(b, TierName(ev.Tier)...)
+	b = append(b, `","pfn":`...)
+	b = strconv.AppendUint(b, ev.PFN, 10)
+	b = append(b, `,"n":`...)
+	b = strconv.AppendUint(b, ev.N, 10)
+	b = append(b, `,"aux":`...)
+	b = strconv.AppendUint(b, ev.Aux, 10)
+	b = append(b, `,"cost":`...)
+	b = strconv.AppendFloat(b, ev.Cost, 'f', -1, 64)
+	return b
+}
+
+// appendJSONString appends s as a JSON string literal, escaping the
+// characters that can appear in run tags (quotes and backslashes; run
+// tags are CLI flag values, not arbitrary binary).
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"', '\\':
+			b = append(b, '\\', c)
+		default:
+			if c < 0x20 {
+				b = append(b, `\u00`...)
+				const hex = "0123456789abcdef"
+				b = append(b, hex[c>>4], hex[c&0xf])
+			} else {
+				b = append(b, c)
+			}
+		}
+	}
+	return append(b, '"')
+}
+
+// JSONLSink writes one JSON object per line: a meta header identifying
+// the run, then one line per event. The stream is trivially greppable
+// and parseable with any JSON-lines reader.
+type JSONLSink struct {
+	w      io.Writer
+	buf    []byte
+	wroteH bool
+	run    string
+}
+
+// NewJSONLSink builds a JSONL sink over w tagged with run (typically
+// the experiment label or CLI configuration plus seed). The sink does
+// not close w; callers own the underlying file.
+func NewJSONLSink(w io.Writer, run string) *JSONLSink {
+	return &JSONLSink{w: w, run: run, buf: make([]byte, 0, 64<<10)}
+}
+
+// WriteBatch implements Sink.
+func (s *JSONLSink) WriteBatch(batch []Event) error {
+	s.buf = s.buf[:0]
+	if !s.wroteH {
+		s.wroteH = true
+		s.buf = append(s.buf, `{"meta":"heteroos-events","version":1,"run":`...)
+		s.buf = appendJSONString(s.buf, s.run)
+		s.buf = append(s.buf, "}\n"...)
+	}
+	for _, ev := range batch {
+		s.buf = append(s.buf, '{')
+		s.buf = appendEventFields(s.buf, ev)
+		s.buf = append(s.buf, "}\n"...)
+	}
+	_, err := s.w.Write(s.buf)
+	return err
+}
+
+// Close implements Sink. An empty run still gets its meta header so
+// downstream parsers see a well-formed stream.
+func (s *JSONLSink) Close() error {
+	if !s.wroteH {
+		return s.WriteBatch(nil)
+	}
+	return nil
+}
+
+// ChromeTraceSink exports events in the Chrome trace_event JSON array
+// format, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Each VM becomes a process; point events (migrations, evictions,
+// misses) are instant events and pass events (scans, reclaims) are
+// complete ("X") slices whose duration is the pass's charged cost.
+type ChromeTraceSink struct {
+	w      io.Writer
+	buf    []byte
+	run    string
+	opened bool
+	first  bool
+	named  map[int32]bool
+}
+
+// NewChromeTraceSink builds a Chrome-trace sink over w tagged with run.
+// The sink does not close w.
+func NewChromeTraceSink(w io.Writer, run string) *ChromeTraceSink {
+	return &ChromeTraceSink{w: w, run: run, first: true, named: make(map[int32]bool), buf: make([]byte, 0, 64<<10)}
+}
+
+// appendSep opens the array on first use and separates records after.
+func (s *ChromeTraceSink) appendSep() {
+	if !s.opened {
+		s.opened = true
+		s.buf = append(s.buf, "[\n"...)
+	}
+	if s.first {
+		s.first = false
+	} else {
+		s.buf = append(s.buf, ",\n"...)
+	}
+}
+
+// appendMicros appends d nanoseconds as the microsecond timestamp
+// trace_event expects, keeping sub-microsecond precision.
+func appendMicros(b []byte, ns int64) []byte {
+	return strconv.AppendFloat(b, float64(ns)/1e3, 'f', 3, 64)
+}
+
+// WriteBatch implements Sink.
+func (s *ChromeTraceSink) WriteBatch(batch []Event) error {
+	s.buf = s.buf[:0]
+	for _, ev := range batch {
+		if !s.named[ev.VM] {
+			s.named[ev.VM] = true
+			s.appendSep()
+			s.buf = append(s.buf, `{"name":"process_name","ph":"M","pid":`...)
+			s.buf = strconv.AppendInt(s.buf, int64(ev.VM), 10)
+			s.buf = append(s.buf, `,"args":{"name":`...)
+			name := "vm" + strconv.Itoa(int(ev.VM))
+			if ev.VM == 0 {
+				name = "system"
+			}
+			if s.run != "" {
+				name += " (" + s.run + ")"
+			}
+			s.buf = appendJSONString(s.buf, name)
+			s.buf = append(s.buf, "}}"...)
+		}
+		s.appendSep()
+		s.buf = append(s.buf, `{"name":`...)
+		s.buf = appendJSONString(s.buf, ev.Type.String())
+		s.buf = append(s.buf, `,"cat":`...)
+		s.buf = appendJSONString(s.buf, ev.Dir.String())
+		s.buf = append(s.buf, `,"pid":`...)
+		s.buf = strconv.AppendInt(s.buf, int64(ev.VM), 10)
+		s.buf = append(s.buf, `,"tid":`...)
+		s.buf = strconv.AppendInt(s.buf, int64(ev.Type), 10)
+		s.buf = append(s.buf, `,"ts":`...)
+		s.buf = appendMicros(s.buf, int64(ev.Time))
+		// Pass-shaped events become complete slices so Perfetto shows
+		// their simulated cost as a duration; the rest are instants.
+		switch ev.Type {
+		case EvScanPass, EvReclaim:
+			s.buf = append(s.buf, `,"ph":"X","dur":`...)
+			s.buf = appendMicros(s.buf, int64(ev.Cost))
+		default:
+			s.buf = append(s.buf, `,"ph":"i","s":"t"`...)
+		}
+		s.buf = append(s.buf, `,"args":{`...)
+		s.buf = appendEventFields(s.buf, ev)
+		s.buf = append(s.buf, "}}"...)
+	}
+	if len(s.buf) == 0 {
+		return nil
+	}
+	_, err := s.w.Write(s.buf)
+	return err
+}
+
+// Close terminates the JSON array.
+func (s *ChromeTraceSink) Close() error {
+	if !s.opened {
+		_, err := io.WriteString(s.w, "[]\n")
+		return err
+	}
+	_, err := io.WriteString(s.w, "\n]\n")
+	return err
+}

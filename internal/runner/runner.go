@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"heteroos/internal/core"
+	"heteroos/internal/obs"
 )
 
 // ErrJobPanicked wraps a panic raised inside one job's simulation. The
@@ -74,6 +75,12 @@ type Options struct {
 	// completion order, serialized) with the number of finished jobs,
 	// the number submitted so far, and that job's result.
 	Progress func(done, submitted int, r Result)
+	// NewObs, when set, builds a per-job observability handle for jobs
+	// whose Cfg.Obs is nil, called synchronously at submission (in
+	// submission order) with the job's label and resolved seed so
+	// exporters can tag each run's events and metrics with its
+	// identity. Jobs that arrive with Cfg.Obs set keep their handle.
+	NewObs func(label string, seed uint64) *obs.Obs
 }
 
 func (o Options) workers() int {
@@ -172,6 +179,12 @@ func (p *Pool) Submit(label string, cfg core.Config) *Future {
 	p.mu.Unlock()
 	if p.opts.BatchSeed != 0 && cfg.Seed == 0 {
 		cfg.Seed = DeriveSeed(p.opts.BatchSeed, index)
+	}
+	if p.opts.NewObs != nil && cfg.Obs == nil {
+		cfg.Obs = p.opts.NewObs(label, cfg.Seed)
+		if cfg.Obs != nil && cfg.Obs.RunTag() == "" {
+			cfg.Obs.SetRunTag(label)
+		}
 	}
 	go func() {
 		defer close(f.ch)

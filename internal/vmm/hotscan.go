@@ -5,6 +5,7 @@ import (
 
 	"heteroos/internal/guestos"
 	"heteroos/internal/memsim"
+	"heteroos/internal/obs"
 	"heteroos/internal/sim"
 )
 
@@ -77,6 +78,8 @@ type Scanner struct {
 	// index, when attached (NewHeatIndex), serves the ranking queries in
 	// O(k) instead of rankIn's full sweep-and-sort.
 	index *HeatIndex
+	// obs, when attached, carries the scanner's observability probes.
+	obs *scannerProbes
 	// hotBuf/coldBuf back the index-served ranking results. Two buffers
 	// because the migrators hold a hot and a cold list simultaneously; a
 	// result is valid until the next call of the same polarity.
@@ -179,6 +182,9 @@ func (s *Scanner) ScanNext() ScanResult {
 		}
 	}
 	res.CostNs = s.scanCost(res.Scanned)
+	if s.obs != nil {
+		s.obs.record(res, obs.DirFull)
+	}
 	return res
 }
 
@@ -213,6 +219,9 @@ func (s *Scanner) ScanTracked(tracked []guestos.PFN) ScanResult {
 	}
 	s.trackedPos = (start + limit) % n
 	res.CostNs = s.scanCost(res.Scanned)
+	if s.obs != nil {
+		s.obs.record(res, obs.DirTracked)
+	}
 	return res
 }
 

@@ -3,6 +3,7 @@ package vmm
 import (
 	"heteroos/internal/guestos"
 	"heteroos/internal/memsim"
+	"heteroos/internal/obs"
 )
 
 // MigrateCosts prices VMM-level page movement, matching Table 6's
@@ -50,6 +51,8 @@ type MigrateStats struct {
 // I/O pages (Observation 5's critique).
 type Migrator struct {
 	costs MigrateCosts
+	// obs, when attached, carries the migrator's observability probes.
+	obs *migratorProbes
 }
 
 // NewMigrator builds a migrator.
@@ -84,12 +87,18 @@ func (g *Migrator) Rebalance(vm *VM, scanner *Scanner, maxMoves int) MigrateStat
 			}
 			st.Demoted++
 			st.CostNs += perPage
+			if g.obs != nil {
+				g.obs.move(obs.DirVMMDemote, obs.TierSlow, uint64(cold[0]), perPage)
+			}
 		}
 		if !g.moveBacking(vm, pfn, memsim.FastMem) {
 			break
 		}
 		st.Promoted++
 		st.CostNs += perPage
+		if g.obs != nil {
+			g.obs.move(obs.DirVMMPromote, obs.TierFast, uint64(pfn), perPage)
+		}
 	}
 	if moves := st.Promoted + st.Demoted; moves > 0 {
 		scale := g.costs.CostScale

@@ -1,0 +1,89 @@
+package vmm
+
+import "heteroos/internal/obs"
+
+// scannerProbes is the hotness scanner's preregistered instrument set.
+type scannerProbes struct {
+	scope      *obs.Scope
+	passes     *obs.Counter
+	scanned    *obs.Counter
+	referenced *obs.Counter
+	costNs     *obs.Histogram
+}
+
+// AttachObs wires the scanner's probes into scope. Call once at boot;
+// a nil scope leaves observability off.
+func (s *Scanner) AttachObs(scope *obs.Scope) {
+	if scope == nil {
+		return
+	}
+	s.obs = &scannerProbes{
+		scope:      scope,
+		passes:     scope.Counter("vmm.scan_passes"),
+		scanned:    scope.Counter("vmm.pages_scanned"),
+		referenced: scope.Counter("vmm.pages_referenced"),
+		costNs:     scope.Histogram("vmm.scan_pass_ns"),
+	}
+}
+
+// record accounts one finished scan pass and emits its event (the pass
+// is the unit here, not the page: a per-page event would be pure ring
+// pressure with no analytical value).
+func (p *scannerProbes) record(res ScanResult, dir obs.Dir) {
+	p.passes.Inc()
+	p.scanned.Add(uint64(res.Scanned))
+	p.referenced.Add(uint64(res.Referenced))
+	p.costNs.Observe(res.CostNs)
+	p.scope.Emit(obs.EvScanPass, dir, obs.TierNone,
+		0, uint64(res.Scanned), uint64(res.Referenced), res.CostNs)
+}
+
+// migratorProbes is the VMM-exclusive migrator's instrument set.
+type migratorProbes struct {
+	scope    *obs.Scope
+	promoted *obs.Counter
+	demoted  *obs.Counter
+}
+
+// AttachObs wires the migrator's probes into scope.
+func (g *Migrator) AttachObs(scope *obs.Scope) {
+	if scope == nil {
+		return
+	}
+	g.obs = &migratorProbes{
+		scope:    scope,
+		promoted: scope.Counter("vmm.migrate_promoted"),
+		demoted:  scope.Counter("vmm.migrate_demoted"),
+	}
+}
+
+// move accounts one VMM-executed backing move.
+func (p *migratorProbes) move(dir obs.Dir, tier uint8, pfn uint64, costNs float64) {
+	if dir == obs.DirVMMPromote {
+		p.promoted.Inc()
+	} else {
+		p.demoted.Inc()
+	}
+	p.scope.Emit(obs.EvMigration, dir, tier, pfn, 1, 0, costNs)
+}
+
+// drfProbes is the DRF share policy's instrument set. It lives on the
+// system scope (VM 0): rebalancing is a cross-VM action.
+type drfProbes struct {
+	scope      *obs.Scope
+	rebalances *obs.Counter
+	ballooned  *obs.Counter
+}
+
+// AttachObs wires the DRF policy's probes into scope (use the system
+// scope: events carry the victim VM in Aux).
+func (d *DRFShare) AttachObs(scope *obs.Scope) {
+	if scope == nil {
+		return
+	}
+	d.obs = &drfProbes{
+		scope:      scope,
+		rebalances: scope.Counter("vmm.drf_rebalances"),
+		ballooned:  scope.Counter("vmm.drf_ballooned_pages"),
+	}
+}

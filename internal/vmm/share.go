@@ -3,6 +3,7 @@ package vmm
 import (
 	"heteroos/internal/drf"
 	"heteroos/internal/memsim"
+	"heteroos/internal/obs"
 )
 
 // SharePolicy arbitrates machine frames between VMs. Authorize is called
@@ -127,6 +128,8 @@ func (MaxMinShare) OnRelease(*VM, memsim.Tier, uint64) {}
 // to the paper's FastMem=2, SlowMem=1.
 type DRFShare struct {
 	alloc *drf.Allocator
+	// obs, when attached, carries the rebalance probes.
+	obs *drfProbes
 }
 
 // NewDRFShare builds the policy over the machine's capacities.
@@ -197,7 +200,13 @@ func (d *DRFShare) Authorize(vm *VM, t memsim.Tier, want uint64) uint64 {
 			target = victim.granted[t] - need
 		}
 		if victim.granted[t] > target {
-			victim.Balloon.BalloonTarget(t, target)
+			released := victim.Balloon.BalloonTarget(t, target)
+			if d.obs != nil {
+				d.obs.rebalances.Inc()
+				d.obs.ballooned.Add(released)
+				d.obs.scope.Emit(obs.EvDRFRebalance, obs.DirNone, uint8(t),
+					0, released, uint64(victim.Spec.ID), 0)
+			}
 		}
 		avail = uint64(d.alloc.Available(int(t)))
 	}
