@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check obs-parity bench bench-all figures
+.PHONY: all build test vet race check obs-parity scenario-smoke bench bench-all figures
 
 all: check
 
@@ -13,12 +13,13 @@ vet:
 test:
 	$(GO) test ./...
 
-# The runner and core are the concurrency-bearing packages: the worker
-# pool, futures, progress callbacks, and per-epoch context checks all
-# live there, so they get a dedicated race pass. vmm rides along since
-# its scanner/index state is shared with the sweep jobs.
+# The runner, core, and scenario packages are the concurrency-bearing
+# ones: the worker pool, futures, progress callbacks, per-epoch context
+# checks, and scenario batches all live there, so they get a dedicated
+# race pass. vmm rides along since its scanner/index state is shared
+# with the sweep jobs.
 race:
-	$(GO) test -race ./internal/runner ./internal/core ./internal/vmm/...
+	$(GO) test -race ./internal/runner ./internal/core ./internal/vmm/... ./internal/scenario
 
 # obs-parity asserts the observability contract: the figure pipeline's
 # stdout is byte-identical with and without metrics collection attached
@@ -37,10 +38,26 @@ obs-parity:
 	test -s "$$tmp/metrics.csv" || { echo "obs-parity: no metrics written"; exit 1; }; \
 	echo "obs-parity: figure output byte-identical with observability on"
 
+# scenario-smoke runs both bundled scenarios end-to-end through the
+# CLI and checks determinism: two runs of the same scenario must print
+# byte-identical output (the churn run also exercises BootVM/ShutdownVM
+# and the per-departure invariant sweep).
+scenario-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	for sc in churn.json degrade.json; do \
+		$(GO) run ./cmd/heterosim -scenario $$sc -format=csv > "$$tmp/a.csv" || exit 1; \
+		$(GO) run ./cmd/heterosim -scenario $$sc -format=csv > "$$tmp/b.csv" || exit 1; \
+		if ! cmp -s "$$tmp/a.csv" "$$tmp/b.csv"; then \
+			echo "scenario-smoke: $$sc output differs between identical runs:"; \
+			diff "$$tmp/a.csv" "$$tmp/b.csv"; exit 1; \
+		fi; \
+		echo "scenario-smoke: $$sc deterministic"; \
+	done
+
 # check is the pre-commit gate: static analysis, full build, the full
-# test suite, the race detector over the concurrent packages, and the
-# observability no-perturbation check.
-check: vet build test race obs-parity
+# test suite, the race detector over the concurrent packages, the
+# observability no-perturbation check, and the scenario smoke run.
+check: vet build test race obs-parity scenario-smoke
 
 # bench runs the ranking and figure9-sweep benchmarks at benchstat-grade
 # repetition: save the output before and after a change and compare the

@@ -8,6 +8,15 @@
 //	heterosim -app LevelDB -mode Heap-IO-Slab-OD -ratio 8 -seed 7
 //	heterosim -modes                    # list mode names
 //
+// Scenario mode replaces the single fixed VM with a timed script of VM
+// arrivals, departures, surges, and fault injections (see
+// internal/scenario). The file is a JSON scenario; the bundled ones
+// (churn.json, degrade.json) resolve by name from any directory:
+//
+//	heterosim -scenario churn.json
+//	heterosim -scenario degrade.json -events=out.jsonl
+//	heterosim -scenarios                # list bundled scenarios
+//
 // Observability:
 //
 //	heterosim -events=out.jsonl         # structured event stream (JSONL)
@@ -29,6 +38,7 @@ import (
 	"heteroos/internal/memsim"
 	"heteroos/internal/obs"
 	"heteroos/internal/policy"
+	"heteroos/internal/scenario"
 	"heteroos/internal/workload"
 
 	"heteroos/internal/metrics"
@@ -41,6 +51,8 @@ func main() {
 		ratio     = flag.Int("ratio", 4, "SlowMem:FastMem capacity ratio denominator (fast = 8GiB/ratio)")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		listModes = flag.Bool("modes", false, "list mode names and exit")
+		scenarioF = flag.String("scenario", "", "run a JSON scenario file (bundled names resolve from any directory)")
+		listScens = flag.Bool("scenarios", false, "list bundled scenario names and exit")
 		trace     = flag.Bool("trace", false, "print a per-epoch time series")
 		format    = flag.String("format", "text", "trace/metrics table format: text, csv, or markdown")
 		events    = flag.String("events", "", "write structured events as JSON lines to this file")
@@ -55,11 +67,29 @@ func main() {
 		}
 		return
 	}
+	if *listScens {
+		for _, name := range scenario.Bundled() {
+			fmt.Println(name)
+		}
+		return
+	}
 	switch *format {
 	case "text", "csv", "markdown":
 	default:
 		fmt.Fprintf(os.Stderr, "heterosim: unknown -format %q (want text, csv, or markdown)\n", *format)
 		os.Exit(2)
+	}
+
+	if *scenarioF != "" {
+		// -seed overrides the scenario's seed only when given explicitly.
+		var seedOverride *uint64
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedOverride = seed
+			}
+		})
+		runScenario(*scenarioF, seedOverride, *format, *events, *chrome, *metricsF)
+		return
 	}
 
 	mode, err := policy.ByName(*modeName)
@@ -90,46 +120,9 @@ func main() {
 		}},
 	}
 
-	// Observability is constructed only when an output was requested:
-	// the default path hands core a nil handle and stays byte-identical
-	// to an uninstrumented build.
-	var handle *obs.Obs
-	var outFiles []*os.File
-	if *events != "" || *chrome != "" || *metricsF != "" {
-		handle = obs.New()
-		runTag := fmt.Sprintf("%s/%s ratio=%d seed=%d", *app, *modeName, *ratio, *seed)
-		handle.SetRunTag(runTag)
-		openSink := func(path string, mk func(wr io.Writer, run string) obs.Sink) {
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "heterosim:", err)
-				os.Exit(2)
-			}
-			outFiles = append(outFiles, f)
-			handle.Tracer.AddSink(mk(f, runTag))
-		}
-		if *events != "" {
-			openSink(*events, func(wr io.Writer, run string) obs.Sink { return obs.NewJSONLSink(wr, run) })
-		}
-		if *chrome != "" {
-			openSink(*chrome, func(wr io.Writer, run string) obs.Sink { return obs.NewChromeTraceSink(wr, run) })
-		}
-		cfg.Obs = handle
-	}
-	closeObs := func() {
-		if handle == nil {
-			return
-		}
-		if err := handle.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "heterosim: event sink:", err)
-		}
-		for _, f := range outFiles {
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "heterosim:", err)
-			}
-		}
-		outFiles = nil
-	}
+	runTag := fmt.Sprintf("%s/%s ratio=%d seed=%d", *app, *modeName, *ratio, *seed)
+	handle, closeObs := newObsHandle(runTag, *events, *chrome, *metricsF)
+	cfg.Obs = handle
 
 	// Ctrl-C cancels the run at the next simulation epoch.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -174,18 +167,100 @@ func main() {
 	}
 
 	if *metricsF != "" {
-		f, err := os.Create(*metricsF)
+		writeMetrics(handle, *metricsF)
+	}
+	closeObs()
+}
+
+// runScenario executes a scripted multi-VM scenario and prints its
+// per-VM outcomes and sampled timeline.
+func runScenario(path string, seedOverride *uint64, format, events, chrome, metricsF string) {
+	sc, err := scenario.LoadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heterosim:", err)
+		os.Exit(2)
+	}
+	if seedOverride != nil {
+		sc.Seed = *seedOverride
+	}
+	runTag := fmt.Sprintf("scenario/%s seed=%d", sc.Name, sc.Seed)
+	handle, closeObs := newObsHandle(runTag, events, chrome, metricsF)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	r, err := sc.Run(ctx, handle)
+	if err != nil {
+		closeObs()
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "heterosim: interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "heterosim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scenario %s: %d VMs over %d epochs, seed %d, %s\n",
+		r.Name, len(r.VMs), r.Epochs, r.Seed, r.Sys.VMM.SharePolicyName())
+	fmt.Println()
+	renderTable(r.Table(), format, os.Stdout)
+	fmt.Println()
+	renderTable(r.TimelineTable(), format, os.Stdout)
+
+	if metricsF != "" {
+		writeMetrics(handle, metricsF)
+	}
+	closeObs()
+}
+
+// newObsHandle builds an observability handle when any output was
+// requested (nil otherwise — the default path stays byte-identical to
+// an uninstrumented build) and returns it with its cleanup function.
+func newObsHandle(runTag, events, chrome, metricsF string) (*obs.Obs, func()) {
+	if events == "" && chrome == "" && metricsF == "" {
+		return nil, func() {}
+	}
+	handle := obs.New()
+	handle.SetRunTag(runTag)
+	var outFiles []*os.File
+	openSink := func(path string, mk func(wr io.Writer, run string) obs.Sink) {
+		f, err := os.Create(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "heterosim:", err)
 			os.Exit(2)
 		}
-		snap := handle.Metrics.Snapshot()
-		snap.Table("metrics: " + handle.RunTag()).RenderCSV(f)
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "heterosim:", err)
+		outFiles = append(outFiles, f)
+		handle.Tracer.AddSink(mk(f, runTag))
+	}
+	if events != "" {
+		openSink(events, func(wr io.Writer, run string) obs.Sink { return obs.NewJSONLSink(wr, run) })
+	}
+	if chrome != "" {
+		openSink(chrome, func(wr io.Writer, run string) obs.Sink { return obs.NewChromeTraceSink(wr, run) })
+	}
+	return handle, func() {
+		if err := handle.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "heterosim: event sink:", err)
+		}
+		for _, f := range outFiles {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "heterosim:", err)
+			}
 		}
 	}
-	closeObs()
+}
+
+// writeMetrics dumps the end-of-run metrics snapshot as CSV.
+func writeMetrics(handle *obs.Obs, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heterosim:", err)
+		os.Exit(2)
+	}
+	snap := handle.Metrics.Snapshot()
+	snap.Table("metrics: " + handle.RunTag()).RenderCSV(f)
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "heterosim:", err)
+	}
 }
 
 // renderTable writes t in the selected format.

@@ -1,0 +1,59 @@
+// Datacenter churn: a scripted day-in-the-life of one machine. Two
+// guests boot at epoch 0; a third arrives mid-run, a surge triples one
+// VM's demand, VMs depart on schedule and a late writeheavy tenant
+// takes over the freed memory. The demo builds the scenario with the
+// fluent API (the same script ships as the bundled churn.json), runs
+// it, and prints the per-VM outcomes plus the sampled timeline —
+// showing DRF shares rebalancing as membership changes and every
+// departed VM's frames returning to the pool.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"context"
+	"log"
+	"os"
+
+	"heteroos/internal/scenario"
+)
+
+func main() {
+	sc := scenario.New("churn-example", 42).
+		WithMachine(8192, 16384).
+		WithShare("drf").
+		WithMaxEpochs(96)
+
+	// Two long-lived tenants from epoch 0.
+	sc.StartVM(scenario.VMDesc{
+		ID: 1, App: "memlat", Mode: "HeteroOS-coordinated",
+		FastPages: 2048, SlowPages: 4096,
+	})
+	sc.StartVM(scenario.VMDesc{
+		ID: 2, App: "stream", Mode: "HeteroOS-coordinated",
+		FastPages: 2048, SlowPages: 4096,
+	})
+
+	// Mid-run arrivals, a demand surge, and staggered departures.
+	sc.BootAt(8, scenario.VMDesc{
+		ID: 3, App: "memlat", Mode: "HeteroOS-LRU",
+		FastPages: 2048, SlowPages: 4096,
+	})
+	sc.SurgeAt(10, 2, 6, 3)
+	sc.ShutdownAt(14, 1)
+	sc.BootAt(16, scenario.VMDesc{
+		ID: 4, App: "writeheavy", Mode: "VMM-exclusive",
+		FastPages: 2048, SlowPages: 4096,
+	})
+	sc.ShutdownAt(26, 2)
+	sc.ShutdownAt(32, 3)
+	sc.ShutdownAt(56, 4)
+
+	r, err := sc.Run(context.Background(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.Table().Render(os.Stdout)
+	os.Stdout.WriteString("\n")
+	r.TimelineTable().Render(os.Stdout)
+}

@@ -228,6 +228,12 @@ type VMInstance struct {
 	// throttledPasses counts scan slots skipped while promotions are
 	// throttled (most are elided; every 8th probes).
 	throttledPasses int
+	// stallMigration is the fault-injection flag: while set, migration
+	// passes are skipped under bounded retry/backoff (see stepVM).
+	stallMigration bool
+	// stallSkips counts consecutive passes skipped by the active stall;
+	// it indexes the backoff schedule and resets when the stall clears.
+	stallSkips int
 
 	Clock sim.Clock
 	Done  bool
@@ -272,10 +278,16 @@ type VMResult struct {
 	DiskReadPages, DiskWritePages        uint64
 	ScanCostNs, MigrateCostNs            float64
 	ScanPasses                           int
-	FastAllocRequests, FastAllocMisses   uint64
-	FinalCensus                          [guestos.NumKinds]uint64
-	CumAllocs                            [guestos.NumKinds]uint64
-	NetBufChurnPages, SlabChurnPages     float64
+	// Balloon traffic: pages granted to the guest and pages the back-end
+	// refused (share-policy denial, pool exhaustion, injected fault).
+	BalloonPagesIn, BalloonRefusedPages uint64
+	// Migration-stall fault accounting: passes skipped while stalled and
+	// backoff retry probes issued.
+	MigrationStalledPasses, MigrationStallRetries uint64
+	FastAllocRequests, FastAllocMisses            uint64
+	FinalCensus                                   [guestos.NumKinds]uint64
+	CumAllocs                                     [guestos.NumKinds]uint64
+	NetBufChurnPages, SlabChurnPages              float64
 }
 
 // RuntimeSeconds reports the VM's simulated runtime.
@@ -303,8 +315,17 @@ type System struct {
 	Machine *memsim.Machine
 	VMM     *vmm.VMM
 	Engine  *memsim.Engine
-	VMs     []*VMInstance
-	drf     *vmm.DRFShare // non-nil when Share == ShareDRF
+	// VMs holds the live guests; Departed holds guests that were shut
+	// down mid-run (their VMResult is final, their frames returned).
+	VMs      []*VMInstance
+	Departed []*VMInstance
+	drf      *vmm.DRFShare // non-nil when Share == ShareDRF
+	// epochs counts completed lockstep epochs (StepEpoch increments it).
+	epochs int
+	// sysScope is the VM-0 observability scope for cross-VM events
+	// (DRF rebalances, VM lifecycle, fault injection); nil when obs is
+	// off.
+	sysScope *obs.Scope
 }
 
 // NewSystem builds and boots a system. The config is validated first:
@@ -348,17 +369,21 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		s.VMs = append(s.VMs, inst)
 	}
-	if cfg.Obs != nil && s.drf != nil {
-		// DRF rebalancing is a cross-VM action: it reports on the
-		// system scope (VM 0), timestamped by the furthest-advanced
-		// VM clock.
-		s.drf.AttachObs(cfg.Obs.Scope(0, s.latestClock))
+	if cfg.Obs != nil {
+		// Cross-VM actions (DRF rebalances, VM lifecycle, fault
+		// injection) report on the system scope (VM 0), timestamped by
+		// the furthest-advanced VM clock.
+		s.sysScope = cfg.Obs.Scope(0, s.latestClock)
+		if s.drf != nil {
+			s.drf.AttachObs(s.sysScope)
+		}
 	}
 	return s, nil
 }
 
-// latestClock reports the furthest-advanced VM clock, the natural
-// timestamp for system-scope (cross-VM) events.
+// latestClock reports the furthest-advanced VM clock (departed VMs
+// included, so system time never moves backwards across a shutdown),
+// the natural timestamp for system-scope (cross-VM) events.
 func (s *System) latestClock() sim.Duration {
 	var max sim.Duration
 	for _, inst := range s.VMs {
@@ -366,8 +391,20 @@ func (s *System) latestClock() sim.Duration {
 			max = d
 		}
 	}
+	for _, inst := range s.Departed {
+		if d := sim.Duration(inst.Clock.Now()); d > max {
+			max = d
+		}
+	}
 	return max
 }
+
+// Now reports the system-level simulated time (the furthest-advanced VM
+// clock). The scenario engine samples it for its timeline.
+func (s *System) Now() sim.Duration { return s.latestClock() }
+
+// Epochs reports how many lockstep epochs have completed.
+func (s *System) Epochs() int { return s.epochs }
 
 func (s *System) bootVM(vc VMConfig) (*VMInstance, error) {
 	if vc.Workload == nil {
@@ -524,14 +561,171 @@ func (inst *VMInstance) simNow() sim.Duration {
 	return sim.Duration(inst.Clock.Now())
 }
 
-// VMResultByID fetches a VM's results.
+// VMResultByID fetches a VM's results, searching live then departed
+// guests.
 func (s *System) VMResultByID(id vmm.VMID) (*VMResult, bool) {
 	for _, inst := range s.VMs {
 		if inst.ID == id {
 			return &inst.Res, true
 		}
 	}
+	for _, inst := range s.Departed {
+		if inst.ID == id {
+			return &inst.Res, true
+		}
+	}
 	return nil, false
+}
+
+// instByID finds a live VM instance.
+func (s *System) instByID(id vmm.VMID) (*VMInstance, bool) {
+	for _, inst := range s.VMs {
+		if inst.ID == id {
+			return inst, true
+		}
+	}
+	return nil, false
+}
+
+// BootVM boots an additional guest mid-run (VM arrival). The new VM
+// joins the lockstep from the next epoch with its own virtual clock at
+// zero, so its VMResult measures its own runtime exactly as a
+// boot-time VM's would. IDs are never reused: a departed VM's ID stays
+// retired so results remain unambiguous.
+func (s *System) BootVM(vc VMConfig) (*VMInstance, error) {
+	for _, inst := range s.VMs {
+		if inst.ID == vc.ID {
+			return nil, fmt.Errorf("core: BootVM: VM %d already running", vc.ID)
+		}
+	}
+	for _, inst := range s.Departed {
+		if inst.ID == vc.ID {
+			return nil, fmt.Errorf("core: BootVM: VM id %d already used by a departed VM", vc.ID)
+		}
+	}
+	fast, slow := vc.effectiveSpans()
+	if fast+slow == 0 {
+		return nil, fmt.Errorf("core: BootVM: VM %d has a zero memory span", vc.ID)
+	}
+	if fast > s.Cfg.FastFrames || slow > s.Cfg.SlowFrames {
+		return nil, fmt.Errorf("core: BootVM: VM %d span (%d fast, %d slow) exceeds machine (%d, %d)",
+			vc.ID, fast, slow, s.Cfg.FastFrames, s.Cfg.SlowFrames)
+	}
+	inst, err := s.bootVM(vc)
+	if err != nil {
+		return nil, err
+	}
+	s.VMs = append(s.VMs, inst)
+	if s.sysScope != nil {
+		booted := inst.VM.Granted(memsim.FastMem) + inst.VM.Granted(memsim.SlowMem)
+		s.sysScope.Emit(obs.EvVMBoot, obs.DirNone, obs.TierNone, 0, booted, uint64(vc.ID), 0)
+	}
+	return inst, nil
+}
+
+// ShutdownVM departs a guest mid-run: its result is finalised, the
+// guest torn down (balloon unwound, P2M cleared, every machine frame
+// returned to the VMM pool), and the VM deregistered from the share
+// policy so surviving guests' shares re-converge over the new
+// membership. The instance moves to Departed; its result stays
+// addressable through VMResultByID.
+func (s *System) ShutdownVM(id vmm.VMID) (*VMResult, error) {
+	inst, ok := s.instByID(id)
+	if !ok {
+		return nil, fmt.Errorf("core: ShutdownVM: no live VM %d", id)
+	}
+	if !inst.Done {
+		inst.Done = true
+		s.finalizeResult(inst)
+	}
+	released := inst.OS.Teardown()
+	if err := inst.OS.P2MEmpty(); err != nil {
+		return nil, fmt.Errorf("core: ShutdownVM VM %d: %w", id, err)
+	}
+	if err := s.VMM.DestroyVM(id); err != nil {
+		return nil, fmt.Errorf("core: ShutdownVM VM %d: %w", id, err)
+	}
+	for i, cand := range s.VMs {
+		if cand == inst {
+			s.VMs = append(s.VMs[:i], s.VMs[i+1:]...)
+			break
+		}
+	}
+	s.Departed = append(s.Departed, inst)
+	if s.sysScope != nil {
+		s.sysScope.Emit(obs.EvVMShutdown, obs.DirNone, obs.TierNone, 0, released, uint64(id), 0)
+	}
+	return &inst.Res, nil
+}
+
+// --- fault injection ---
+// The setters are the scenario engine's hooks. Each emits an
+// EvFaultInject start/clear pair on the target VM's scope (or the
+// system scope for machine-level faults) so fault windows are visible
+// in the event stream; with obs off they only flip the flag.
+
+// SetMigrationStall starts (on=true) or clears an injected
+// migration-engine stall on a live VM. While stalled, the VM's scan/
+// migrate passes are skipped under bounded retry/backoff — the epoch
+// loop never blocks, so a stall degrades but cannot deadlock the run.
+func (s *System) SetMigrationStall(id vmm.VMID, on bool) error {
+	inst, ok := s.instByID(id)
+	if !ok {
+		return fmt.Errorf("core: SetMigrationStall: no live VM %d", id)
+	}
+	inst.stallMigration = on
+	if !on {
+		inst.stallSkips = 0
+	}
+	s.emitFault(inst.obsScope, obs.FaultMigrationStall, on)
+	return nil
+}
+
+// SetBalloonRefusal starts (on=true) or clears an injected balloon
+// back-end refusal on a live VM: while set, every populate request is
+// denied and the guest surfaces the shortfall (EvBalloonRefused).
+func (s *System) SetBalloonRefusal(id vmm.VMID, on bool) error {
+	inst, ok := s.instByID(id)
+	if !ok {
+		return fmt.Errorf("core: SetBalloonRefusal: no live VM %d", id)
+	}
+	inst.VM.RefusePopulate = on
+	s.emitFault(inst.obsScope, obs.FaultBalloonRefusal, on)
+	return nil
+}
+
+// SetTierSpec applies a mid-run tier performance shift (throttle-factor
+// change). The pricing engine reads the machine spec at charge time, so
+// the shift takes effect from the current epoch onward.
+func (s *System) SetTierSpec(t memsim.Tier, spec memsim.TierSpec) {
+	s.Machine.SetSpec(t, spec)
+	if s.sysScope != nil {
+		s.sysScope.Emit(obs.EvFaultInject, obs.DirStart, uint8(t), 0, 0, obs.FaultThrottleShift, 0)
+	}
+}
+
+// EmitFault marks a fault window edge in the event stream on behalf of
+// a caller that implements the fault itself (e.g. the scenario engine's
+// workload surge). The event lands on the target VM's scope when id
+// names a live instrumented VM, else on the system scope.
+func (s *System) EmitFault(id vmm.VMID, code uint64, start bool) {
+	if inst, ok := s.instByID(id); ok && inst.obsScope != nil {
+		s.emitFault(inst.obsScope, code, start)
+		return
+	}
+	s.emitFault(s.sysScope, code, start)
+}
+
+// emitFault emits one EvFaultInject edge on scope (nil scope: no-op).
+func (s *System) emitFault(scope *obs.Scope, code uint64, start bool) {
+	if scope == nil {
+		return
+	}
+	dir := obs.DirClear
+	if start {
+		dir = obs.DirStart
+	}
+	scope.Emit(obs.EvFaultInject, dir, obs.TierNone, 0, 0, code, 0)
 }
 
 // DRFDominantShare reports a VM's dominant share under the DRF policy
@@ -543,7 +737,10 @@ func (s *System) DRFDominantShare(id vmm.VMID) float64 {
 	return s.drf.DominantShare(id)
 }
 
-// CheckInvariants validates the whole stack.
+// CheckInvariants validates the whole stack. Beyond the live guests'
+// cross-subsystem checks, every departed VM must have left no trace:
+// zero machine frames still owned and an empty P2M — a leak on either
+// side of the teardown fails here.
 func (s *System) CheckInvariants() error {
 	if err := s.VMM.CheckInvariants(); err != nil {
 		return err
@@ -551,6 +748,14 @@ func (s *System) CheckInvariants() error {
 	for _, inst := range s.VMs {
 		if err := inst.OS.CheckInvariants(); err != nil {
 			return fmt.Errorf("VM %d: %w", inst.ID, err)
+		}
+	}
+	for _, inst := range s.Departed {
+		if leaked := s.Machine.OwnedBy(memsim.Owner(inst.ID)); leaked != 0 {
+			return fmt.Errorf("departed VM %d: %d machine frames leaked", inst.ID, leaked)
+		}
+		if err := inst.OS.P2MEmpty(); err != nil {
+			return fmt.Errorf("departed VM %d: %w", inst.ID, err)
 		}
 	}
 	return nil

@@ -7,6 +7,7 @@ import (
 
 	"heteroos/internal/guestos"
 	"heteroos/internal/memsim"
+	"heteroos/internal/obs"
 	"heteroos/internal/policy"
 	"heteroos/internal/sim"
 	"heteroos/internal/vmm"
@@ -27,25 +28,54 @@ var (
 // one epoch, so a pathologically slow epoch cannot stall the simulation.
 const maxScanPassesPerEpoch = 64
 
+// stallProbeNs is the simulated cost of one retry probe against a
+// stalled migration engine (a hypercall-sized poke, not a scan pass).
+const stallProbeNs = 2000.0
+
+// stallRetrySlot reports whether the n-th consecutive stalled pass is a
+// backoff retry slot: exponential at 1, 2, 4, 8, then every 8th pass.
+// The schedule is bounded — retries never stop entirely, so the engine
+// recovers within at most 8 passes of the stall clearing no matter how
+// long the window was.
+func stallRetrySlot(n int) bool {
+	return n == 1 || n == 2 || n == 4 || n%8 == 0
+}
+
+// StepEpoch advances every live, unfinished VM by one lockstep epoch
+// and increments the system epoch counter. It reports alive=false when
+// no VM remains running — either all finished or all departed. The
+// scenario engine drives the system through this instead of
+// RunContext, interleaving lifecycle events and fault injection
+// between epochs.
+func (s *System) StepEpoch() (alive bool, err error) {
+	for _, inst := range s.VMs {
+		if inst.Done {
+			continue
+		}
+		alive = true
+		if err := s.stepVM(inst); err != nil {
+			return true, fmt.Errorf("core: VM %d epoch %d: %w", inst.ID, s.epochs, err)
+		}
+	}
+	if alive {
+		s.epochs++
+	}
+	return alive, nil
+}
+
 // RunContext executes all VMs to completion (or MaxEpochs), advancing
 // each VM's virtual clock per epoch. VMs step in lockstep so multi-VM
 // memory contention (grants, ballooning, DRF) interleaves realistically.
 // Cancellation is checked once per epoch: a cancelled context stops the
 // run within one epoch and returns ctx.Err().
 func (s *System) RunContext(ctx context.Context) error {
-	for epoch := 0; epoch < s.Cfg.MaxEpochs; epoch++ {
+	for s.epochs < s.Cfg.MaxEpochs {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		alive := false
-		for _, inst := range s.VMs {
-			if inst.Done {
-				continue
-			}
-			alive = true
-			if err := s.stepVM(inst); err != nil {
-				return fmt.Errorf("core: VM %d epoch %d: %w", inst.ID, epoch, err)
-			}
+		alive, err := s.StepEpoch()
+		if err != nil {
+			return err
 		}
 		if !alive {
 			break
@@ -92,6 +122,25 @@ func (s *System) stepVM(inst *VMInstance) error {
 		for inst.scanDebt >= interval && passes < maxScanPassesPerEpoch {
 			inst.scanDebt -= interval
 			passes++
+			if inst.stallMigration {
+				// Injected migration-engine stall: the pass is skipped,
+				// but the engine re-probes the stalled channel on an
+				// exponential backoff schedule (passes 1, 2, 4, 8, then
+				// every 8th), charging a small probe cost. scanDebt is
+				// consumed either way, so a stall degrades a VM but can
+				// never deadlock the epoch loop.
+				inst.stallSkips++
+				inst.Res.MigrationStalledPasses++
+				if stallRetrySlot(inst.stallSkips) {
+					inst.Res.MigrationStallRetries++
+					inst.OS.AddOSTime(stallProbeNs)
+					if inst.obsScope != nil {
+						inst.obsScope.Emit(obs.EvMigrationStall, obs.DirNone,
+							obs.TierNone, 0, 1, uint64(inst.stallSkips), stallProbeNs)
+					}
+				}
+				continue
+			}
 			switch inst.Mode.Migration {
 			case policy.MigrateVMMExclusive:
 				res := inst.scanner.ScanNext()
@@ -238,19 +287,30 @@ func (s *System) stepVM(inst *VMInstance) error {
 	r.CacheEvictions += st.CacheEvictions
 	r.DiskReadPages += st.DiskReadPages
 	r.DiskWritePages += st.DiskWritePages
+	r.BalloonPagesIn += st.BalloonPagesIn
+	r.BalloonRefusedPages += st.BalloonRefusedPages
 	if inst.probes != nil {
 		inst.probes.observeEpoch(&cost, inst.fastFreePct(), inst.moveBudget)
 	}
 
 	if done {
 		inst.Done = true
-		r.FastAllocRequests = sumKinds(inst.OS.WindowLife.Requests)
-		r.FastAllocMisses = sumKinds(inst.OS.WindowLife.Misses)
-		r.FinalCensus = inst.OS.PageCensus()
-		r.CumAllocs = inst.OS.Cum.AllocsByKind
-		r.NetBufChurnPages, r.SlabChurnPages = inst.OS.SlabChurnPageEquivalents()
+		s.finalizeResult(inst)
 	}
 	return nil
+}
+
+// finalizeResult fills the result fields computed from final guest
+// state. Called when the workload completes or, for a mid-run shutdown,
+// just before the guest is torn down (the census must be taken while
+// the P2M is still intact).
+func (s *System) finalizeResult(inst *VMInstance) {
+	r := &inst.Res
+	r.FastAllocRequests = sumKinds(inst.OS.WindowLife.Requests)
+	r.FastAllocMisses = sumKinds(inst.OS.WindowLife.Misses)
+	r.FinalCensus = inst.OS.PageCensus()
+	r.CumAllocs = inst.OS.Cum.AllocsByKind
+	r.NetBufChurnPages, r.SlabChurnPages = inst.OS.SlabChurnPageEquivalents()
 }
 
 func sumKinds(a [guestos.NumKinds]uint64) uint64 {

@@ -1,6 +1,7 @@
 package guestos
 
 import (
+	"errors"
 	"fmt"
 
 	"heteroos/internal/guestos/pagecache"
@@ -9,6 +10,29 @@ import (
 	"heteroos/internal/obs"
 	"heteroos/internal/sim"
 )
+
+// ErrBalloonShortfall is the sentinel wrapped by BalloonShortfallError;
+// match it with errors.Is.
+var ErrBalloonShortfall = errors.New("guestos: balloon reservation shortfall")
+
+// BalloonShortfallError reports a populate request the balloon back-end
+// did not honour in full: the front-end asked the VMM for Want frames of
+// Tier and received only Got. Boot-time reservations fail with it;
+// runtime shortfalls are surfaced as EvBalloonRefused events instead of
+// silently under-reserving (the allocator then spills to the other
+// tier, which the placement stats record).
+type BalloonShortfallError struct {
+	Tier      memsim.Tier
+	Want, Got uint64
+}
+
+// Error implements error.
+func (e *BalloonShortfallError) Error() string {
+	return fmt.Sprintf("guestos: balloon back-end granted %d/%d %v frames", e.Got, e.Want, e.Tier)
+}
+
+// Unwrap ties the typed error to the ErrBalloonShortfall sentinel.
+func (e *BalloonShortfallError) Unwrap() error { return ErrBalloonShortfall }
 
 // FrameSource is the VMM-side back-end of the on-demand allocation
 // driver (Figure 5, steps 1-3): the guest requests machine frames of a
@@ -87,7 +111,11 @@ type EpochStats struct {
 	CacheEvictions                uint64
 	DiskReadPages, DiskWritePages uint64
 	BalloonPagesIn                uint64
-	MigrationsSkipped             uint64
+	// BalloonRefusedPages counts frames the balloon back-end declined to
+	// grant (populate shortfall), whether from share-policy denial, pool
+	// exhaustion, or an injected refusal fault.
+	BalloonRefusedPages uint64
+	MigrationsSkipped   uint64
 }
 
 // CumulativeStats track whole-run totals for the census figures.
@@ -241,18 +269,20 @@ func New(cfg Config) (*OS, error) {
 		SlabInode:  o.newSlabCache(SlabInode, 640, KindSlab),
 	}
 
-	// Boot reservation.
+	// Boot reservation. A short grant here is a hard boot failure, and
+	// the typed error lets the caller distinguish "back-end refused"
+	// from config mistakes.
 	if cfg.Aware {
 		if got := o.populateNode(0, cfg.BootFastPages); got < cfg.BootFastPages {
-			return nil, fmt.Errorf("guestos: boot FastMem reservation short: %d/%d", got, cfg.BootFastPages)
+			return nil, &BalloonShortfallError{Tier: memsim.FastMem, Want: cfg.BootFastPages, Got: got}
 		}
 		if got := o.populateNode(1, cfg.BootSlowPages); got < cfg.BootSlowPages {
-			return nil, fmt.Errorf("guestos: boot SlowMem reservation short: %d/%d", got, cfg.BootSlowPages)
+			return nil, &BalloonShortfallError{Tier: memsim.SlowMem, Want: cfg.BootSlowPages, Got: got}
 		}
 	} else {
 		want := cfg.BootFastPages + cfg.BootSlowPages
 		if got := o.populateNode(0, want); got < want {
-			return nil, fmt.Errorf("guestos: boot reservation short: %d/%d", got, want)
+			return nil, &BalloonShortfallError{Tier: memsim.FastMem, Want: want, Got: got}
 		}
 	}
 	return o, nil
@@ -372,6 +402,18 @@ func (o *OS) populateNode(idx int, want uint64) uint64 {
 		o.obs.balloonIn.Add(got)
 		o.obs.scope.Emit(obs.EvBalloon, obs.DirDeflate, o.nodeTierByte(idx),
 			0, got, 0, float64(got)*o.costs.BalloonPerPageNs)
+	}
+	if got < want {
+		// The back-end refused part of the request (share-policy denial,
+		// pool exhaustion, or injected fault). Surface the shortfall
+		// instead of silently under-reserving; allocation falls back to
+		// the other tier and the placement stats record the spill.
+		o.ep.BalloonRefusedPages += want - got
+		if o.obs != nil {
+			o.obs.balloonRefused.Add(want - got)
+			o.obs.scope.Emit(obs.EvBalloonRefused, obs.DirNone, o.nodeTierByte(idx),
+				0, want-got, want, 0)
+		}
 	}
 	return got
 }
@@ -730,6 +772,42 @@ func (o *OS) releaseFreeFrames(idx int, want uint64) uint64 {
 			0, uint64(len(mfns)), 0, float64(len(mfns))*o.costs.BalloonPerPageNs)
 	}
 	return uint64(len(mfns))
+}
+
+// Teardown unwinds the guest for VM departure: every machine frame the
+// guest still holds — free, mapped, cache, slab, or kernel — is handed
+// back to the VMM in a single Release, and the P2M (per-page backing
+// frame) is cleared. The OS is dead afterwards: no subsystem is usable
+// and no invariant is expected to hold, so the caller must drop the
+// instance. Returns the number of frames released.
+func (o *OS) Teardown() uint64 {
+	mfns := make([]memsim.MFN, 0, o.store.Len())
+	for pfn := PFN(0); pfn < PFN(o.store.Len()); pfn++ {
+		p := o.store.Page(pfn)
+		if p.MFN == memsim.NilMFN {
+			continue
+		}
+		mfns = append(mfns, p.MFN)
+		p.MFN = memsim.NilMFN
+		if o.indexer != nil {
+			o.indexer.PageUnbacked(pfn)
+		}
+	}
+	if len(mfns) > 0 {
+		o.cfg.Source.Release(mfns)
+	}
+	return uint64(len(mfns))
+}
+
+// P2MEmpty verifies no page still holds a backing frame; a departed VM
+// must satisfy it (System.CheckInvariants asserts this after shutdown).
+func (o *OS) P2MEmpty() error {
+	for pfn := PFN(0); pfn < PFN(o.store.Len()); pfn++ {
+		if o.store.Page(pfn).MFN != memsim.NilMFN {
+			return fmt.Errorf("guestos: pfn %d still backed after teardown", pfn)
+		}
+	}
+	return nil
 }
 
 // CheckInvariants validates cross-subsystem consistency; tests and

@@ -15,6 +15,7 @@ type osProbes struct {
 	migrateNs      *obs.Histogram
 	balloonIn      *obs.Counter
 	balloonOut     *obs.Counter
+	balloonRefused *obs.Counter
 	cacheEvictions *obs.Counter
 	fastAllocReqs  *obs.Counter
 	fastAllocMiss  *obs.Counter
@@ -39,6 +40,7 @@ func (o *OS) AttachObs(scope *obs.Scope) {
 		migrateNs:      scope.Histogram("guestos.migrate_ns"),
 		balloonIn:      scope.Counter("guestos.balloon_pages_in"),
 		balloonOut:     scope.Counter("guestos.balloon_pages_out"),
+		balloonRefused: scope.Counter("guestos.balloon_refused_pages"),
 		cacheEvictions: scope.Counter("guestos.cache_evictions"),
 		fastAllocReqs:  scope.Counter("guestos.fast_alloc_requests"),
 		fastAllocMiss:  scope.Counter("guestos.fast_alloc_misses"),

@@ -82,6 +82,19 @@ func (m *Machine) OwnerOf(mfn MFN) Owner {
 	return m.owner[mfn]
 }
 
+// OwnedBy counts the frames currently owned by o across both tiers.
+// O(total frames) — meant for invariant checks and teardown audits,
+// not hot paths.
+func (m *Machine) OwnedBy(o Owner) uint64 {
+	var n uint64
+	for _, ow := range m.owner {
+		if ow == o {
+			n++
+		}
+	}
+	return n
+}
+
 // Contains reports whether mfn is a valid frame of this machine.
 func (m *Machine) Contains(mfn MFN) bool {
 	return uint64(mfn) < uint64(len(m.owner))

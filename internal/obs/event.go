@@ -52,8 +52,60 @@ const (
 	// dominant-share victim VM was ballooned down; N is the number of
 	// pages actually released and Aux the victim VM id.
 	EvDRFRebalance
+	// EvVMBoot is a VM arriving mid-run (scenario lifecycle). Emitted on
+	// the system scope; Aux is the booted VM id and N its boot-populated
+	// page count.
+	EvVMBoot
+	// EvVMShutdown is a VM departing: its balloon unwound, its P2M
+	// cleared, and every machine frame returned to the VMM pool. Emitted
+	// on the system scope; Aux is the departed VM id and N the number of
+	// frames released.
+	EvVMShutdown
+	// EvFaultInject marks a scenario fault window opening (DirStart) or
+	// closing (DirClear); the Start/Clear pair delimits the window. Aux
+	// carries the fault code (Fault* constants).
+	EvFaultInject
+	// EvBalloonRefused is a populate request the balloon back-end did not
+	// honour in full: the guest asked for Aux pages of Tier and is short
+	// N. The typed guestos error carries the same numbers.
+	EvBalloonRefused
+	// EvMigrationStall is one migration pass skipped because the
+	// migration engine is stalled; Aux counts consecutive stalled passes
+	// (the retry/backoff position).
+	EvMigrationStall
 	numTypes
 )
+
+// Fault codes carried in EvFaultInject's Aux field.
+const (
+	// FaultThrottleShift is a mid-run SlowMem throttle-factor change.
+	FaultThrottleShift uint64 = 1
+	// FaultBalloonRefusal is a window in which the VMM refuses balloon
+	// populate requests for the target VM.
+	FaultBalloonRefusal uint64 = 2
+	// FaultMigrationStall is a window in which the target VM's migration
+	// engine stalls (passes skipped under bounded retry/backoff).
+	FaultMigrationStall uint64 = 3
+	// FaultSurge is a workload phase surge: the target VM's workload
+	// runs at a demand multiple for the window.
+	FaultSurge uint64 = 4
+)
+
+// FaultName returns the stable wire name of a fault code.
+func FaultName(code uint64) string {
+	switch code {
+	case FaultThrottleShift:
+		return "throttle-shift"
+	case FaultBalloonRefusal:
+		return "balloon-refusal"
+	case FaultMigrationStall:
+		return "migration-stall"
+	case FaultSurge:
+		return "surge"
+	default:
+		return "unknown"
+	}
+}
 
 // String returns the stable wire name of the event type, used verbatim
 // by the JSONL and Chrome-trace sinks.
@@ -73,6 +125,16 @@ func (t Type) String() string {
 		return "alloc-miss"
 	case EvDRFRebalance:
 		return "drf-rebalance"
+	case EvVMBoot:
+		return "vm-boot"
+	case EvVMShutdown:
+		return "vm-shutdown"
+	case EvFaultInject:
+		return "fault-inject"
+	case EvBalloonRefused:
+		return "balloon-refused"
+	case EvMigrationStall:
+		return "migration-stall"
 	default:
 		return "unknown"
 	}
@@ -103,6 +165,10 @@ const (
 	DirFull
 	// DirTracked marks a scan pass over the guest's tracking list only.
 	DirTracked
+	// DirStart marks a fault window opening.
+	DirStart
+	// DirClear marks a fault window closing.
+	DirClear
 )
 
 // String returns the stable wire name of the direction.
@@ -126,6 +192,10 @@ func (d Dir) String() string {
 		return "full"
 	case DirTracked:
 		return "tracked"
+	case DirStart:
+		return "start"
+	case DirClear:
+		return "clear"
 	default:
 		return ""
 	}

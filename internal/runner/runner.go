@@ -186,6 +186,28 @@ func (p *Pool) Submit(label string, cfg core.Config) *Future {
 			cfg.Obs.SetRunTag(label)
 		}
 	}
+	p.start(f, func(ctx context.Context) (*core.VMResult, *core.System, error) {
+		return execute(ctx, cfg)
+	})
+	return f
+}
+
+// SubmitFunc queues an arbitrary simulation job: fn runs on a worker
+// slot under the pool's context with the same panic isolation, bounded
+// concurrency, and progress reporting as Config jobs, and its return
+// values resolve the future. The scenario engine uses this to run
+// scripted multi-VM scenarios through the sweep machinery.
+func (p *Pool) SubmitFunc(label string, fn func(ctx context.Context) (*core.VMResult, *core.System, error)) *Future {
+	f := &Future{label: label, ch: make(chan struct{})}
+	p.mu.Lock()
+	p.submitted++
+	p.mu.Unlock()
+	p.start(f, fn)
+	return f
+}
+
+// start launches the worker goroutine shared by Submit and SubmitFunc.
+func (p *Pool) start(f *Future, fn func(ctx context.Context) (*core.VMResult, *core.System, error)) {
 	go func() {
 		defer close(f.ch)
 		select {
@@ -195,13 +217,22 @@ func (p *Pool) Submit(label string, cfg core.Config) *Future {
 				f.err = err
 				break
 			}
-			f.res, f.sys, f.err = execute(p.ctx, cfg)
+			f.res, f.sys, f.err = guard(p.ctx, fn)
 		case <-p.ctx.Done():
 			f.err = p.ctx.Err()
 		}
 		p.progress(f)
 	}()
-	return f
+}
+
+// guard converts a panic anywhere inside fn into a per-job error.
+func guard(ctx context.Context, fn func(ctx context.Context) (*core.VMResult, *core.System, error)) (res *core.VMResult, sys *core.System, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, sys, err = nil, nil, fmt.Errorf("%w: %v\n%s", ErrJobPanicked, r, debug.Stack())
+		}
+	}()
+	return fn(ctx)
 }
 
 func (p *Pool) progress(f *Future) {
@@ -217,14 +248,9 @@ func (p *Pool) progress(f *Future) {
 	p.mu.Unlock()
 }
 
-// execute runs one simulation end to end, converting a panic anywhere
-// in the stack into a per-job error.
+// execute runs one simulation end to end; guard (in start) converts a
+// panic anywhere in the stack into a per-job error.
 func execute(ctx context.Context, cfg core.Config) (res *core.VMResult, sys *core.System, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			res, err = nil, fmt.Errorf("%w: %v\n%s", ErrJobPanicked, r, debug.Stack())
-		}
-	}()
 	sys, err = core.NewSystem(cfg)
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"heteroos/internal/obs"
+	"heteroos/internal/runner"
+)
+
+// capture runs a scenario with a JSONL event sink attached and returns
+// the marshalled result and the raw event stream.
+func capture(t *testing.T, sc *Scenario) (resultJSON, events []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	h := obs.New()
+	h.SetRunTag(sc.Name)
+	h.Tracer.AddSink(obs.NewJSONLSink(&buf, sc.Name))
+	r, err := sc.Run(context.Background(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, buf.Bytes()
+}
+
+// TestGoldenDeterminism is the determinism contract's enforcement: the
+// same scenario with the same seed must produce byte-identical results
+// AND a byte-identical observability event stream, run to run.
+func TestGoldenDeterminism(t *testing.T) {
+	for _, name := range Bundled() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			first, err := LoadBundled(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := LoadBundled(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res1, ev1 := capture(t, first)
+			res2, ev2 := capture(t, second)
+			if !bytes.Equal(res1, res2) {
+				t.Errorf("results differ across identical runs:\n%s\nvs\n%s", res1, res2)
+			}
+			if !bytes.Equal(ev1, ev2) {
+				t.Errorf("event streams differ across identical runs (%d vs %d bytes)", len(ev1), len(ev2))
+			}
+			if len(ev1) == 0 {
+				t.Error("no events captured")
+			}
+		})
+	}
+}
+
+// TestWorkerCountInvariance checks that RunMany's results do not depend
+// on pool parallelism: one worker and four workers must produce
+// identical outcomes for the same scenario batch.
+func TestWorkerCountInvariance(t *testing.T) {
+	batch := func() []*Scenario {
+		var scs []*Scenario
+		for _, name := range Bundled() {
+			sc, err := LoadBundled(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scs = append(scs, sc)
+		}
+		return append(scs, contended("batch-extra", 17).ShutdownAt(3, 3))
+	}
+	run := func(workers int) [][]byte {
+		results, err := RunMany(context.Background(), batch(), runner.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]byte, len(results))
+		for i, r := range results {
+			b, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = b
+		}
+		return out
+	}
+	serial, parallel := run(1), run(4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !bytes.Equal(serial[i], parallel[i]) {
+			t.Errorf("scenario %d differs between 1 and 4 workers", i)
+		}
+	}
+}

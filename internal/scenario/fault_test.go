@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"heteroos/internal/obs"
+)
+
+// eventStream runs a bundled scenario with observability attached and
+// returns the JSONL event stream as a string.
+func eventStream(t *testing.T, name string) (*Result, string) {
+	t.Helper()
+	sc, err := LoadBundled(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	h := obs.New()
+	h.SetRunTag(sc.Name)
+	h.Tracer.AddSink(obs.NewJSONLSink(&buf, sc.Name))
+	r, err := sc.Run(context.Background(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return r, buf.String()
+}
+
+// TestLifecycleEventsObservable checks that VM arrival and departure in
+// the churn scenario emit typed lifecycle events, and that the surge
+// fault's start/clear window shows up in the stream.
+func TestLifecycleEventsObservable(t *testing.T) {
+	_, stream := eventStream(t, "churn.json")
+	for _, want := range []string{
+		`"vm-boot"`, `"vm-shutdown"`, `"fault-inject"`,
+	} {
+		if !strings.Contains(stream, want) {
+			t.Errorf("event stream lacks %s", want)
+		}
+	}
+	// The surge window emits a start/clear pair of fault-inject events.
+	if n := strings.Count(stream, `"fault-inject"`); n < 2 {
+		t.Errorf("fault-inject events = %d, want start and clear", n)
+	}
+	// Two boots are scripted (VMs 3 and 4); four shutdowns.
+	if n := strings.Count(stream, `"vm-boot"`); n != 2 {
+		t.Errorf("vm-boot events = %d, want 2", n)
+	}
+	if n := strings.Count(stream, `"vm-shutdown"`); n != 4 {
+		t.Errorf("vm-shutdown events = %d, want 4", n)
+	}
+}
+
+// TestFaultsObservableAndRecovered checks each degrade fault: every
+// injection emits a typed event, visibly perturbs the run, and the
+// system recovers after the window closes.
+func TestFaultsObservableAndRecovered(t *testing.T) {
+	r, stream := eventStream(t, "degrade.json")
+	for _, want := range []string{
+		`"fault-inject"`, `"migration-stall"`, `"balloon-refused"`,
+	} {
+		if !strings.Contains(stream, want) {
+			t.Errorf("event stream lacks %s", want)
+		}
+	}
+
+	// Migration stall: VM 1's scanner skipped passes and retried on the
+	// bounded backoff schedule, yet still made migration progress after
+	// the window cleared (recovery).
+	vm1 := r.VMs[0].Res
+	if vm1.MigrationStalledPasses == 0 {
+		t.Error("stall window recorded no stalled passes")
+	}
+	if vm1.MigrationStallRetries == 0 {
+		t.Error("stall window recorded no retries")
+	}
+	if vm1.Promotions == 0 {
+		t.Error("VM 1 never migrated — did not recover from the stall")
+	}
+
+	// Balloon refusal: VM 2's populate requests were refused during the
+	// window and the shortfall was accounted, not silently dropped.
+	vm2 := r.VMs[1].Res
+	if vm2.BalloonRefusedPages == 0 {
+		t.Error("refusal window recorded no refused pages")
+	}
+	if vm2.BalloonPagesIn == 0 {
+		t.Error("VM 2 never ballooned — refusal window should not be total")
+	}
+
+	// Recovery: the refusal burst is confined to its window — the last
+	// timeline sample shows no ongoing refusals.
+	last := r.Timeline[len(r.Timeline)-1]
+	if last.BalloonRefused != 0 {
+		t.Errorf("refusals still accumulating at the end: %d", last.BalloonRefused)
+	}
+	// And a perturbation is visible somewhere in the timeline.
+	var seenRefuse bool
+	for _, s := range r.Timeline {
+		if s.BalloonRefused > 0 {
+			seenRefuse = true
+		}
+	}
+	if !seenRefuse {
+		t.Error("timeline never shows the refusal perturbation")
+	}
+
+	// Both workloads ran to completion despite the faults.
+	for _, v := range r.VMs {
+		if !v.Completed {
+			t.Errorf("VM %d did not complete under faults", v.ID)
+		}
+	}
+}
+
+// TestMigrationStallBoundedRetry pins the retry/backoff contract: a
+// stalled window consumes scan passes without deadlock, and the retry
+// count stays a small fraction of the stalled passes.
+func TestMigrationStallBoundedRetry(t *testing.T) {
+	sc := contended("stall", 13).MigrationStallAt(1, 1, 4)
+	r, err := sc.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.VMs[0].Res
+	if res.MigrationStalledPasses == 0 {
+		t.Fatal("no stalled passes recorded")
+	}
+	if res.MigrationStallRetries == 0 {
+		t.Fatal("no retries recorded — backoff never probed")
+	}
+	if res.MigrationStallRetries >= res.MigrationStalledPasses {
+		t.Fatalf("retries %d not a strict subset of stalled passes %d — backoff is not bounding",
+			res.MigrationStallRetries, res.MigrationStalledPasses)
+	}
+	// No deadlock: the stalled VM still finishes its workload, and the
+	// scan machinery keeps consuming its debt through the window.
+	if !r.VMs[0].Completed {
+		t.Fatal("stalled VM never completed — stall deadlocked the scanner")
+	}
+}

@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+
+	"embed"
+)
+
+// bundledFS embeds the scenarios that ship with the simulator, so
+// `heterosim -scenario churn.json` works from any directory.
+//
+//go:embed scenarios/*.json
+var bundledFS embed.FS
+
+// Bundled lists the embedded scenario file names.
+func Bundled() []string {
+	entries, err := bundledFS.ReadDir("scenarios")
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Parse decodes and validates a JSON scenario.
+func Parse(data []byte) (*Scenario, error) {
+	var sc Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// LoadBundled loads an embedded scenario by file name (e.g.
+// "churn.json").
+func LoadBundled(name string) (*Scenario, error) {
+	data, err := bundledFS.ReadFile(path.Join("scenarios", name))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: no bundled scenario %q (have %v)", name, Bundled())
+	}
+	return Parse(data)
+}
+
+// LoadFile loads a scenario from disk; when the path does not exist and
+// its base name matches a bundled scenario, the bundled one is used, so
+// the shipped scenarios work without checked-out sources.
+func LoadFile(p string) (*Scenario, error) {
+	data, err := os.ReadFile(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			if sc, berr := LoadBundled(path.Base(p)); berr == nil {
+				return sc, nil
+			}
+		}
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return Parse(data)
+}

@@ -1,0 +1,427 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"heteroos/internal/core"
+	"heteroos/internal/guestos"
+	"heteroos/internal/memsim"
+	"heteroos/internal/metrics"
+	"heteroos/internal/obs"
+	"heteroos/internal/policy"
+	"heteroos/internal/runner"
+	"heteroos/internal/sim"
+	"heteroos/internal/vmm"
+	"heteroos/internal/workload"
+)
+
+// surgeWorkload wraps every scenario VM's workload so a surge window
+// can multiply its demand: while active, Step runs the inner workload
+// factor times per epoch (a hog VM allocating and touching at a
+// multiple of its steady rate). Inactive, it is a single branch.
+type surgeWorkload struct {
+	inner  workload.Workload
+	factor int
+	active bool
+	// done records whether the inner workload ran to completion, which
+	// distinguishes "finished" from "shut down mid-run" in the result.
+	done bool
+}
+
+func (w *surgeWorkload) Profile() workload.Profile { return w.inner.Profile() }
+
+func (w *surgeWorkload) Init(os *guestos.OS) error { return w.inner.Init(os) }
+
+func (w *surgeWorkload) Step(os *guestos.OS) (uint64, bool) {
+	steps := 1
+	if w.active && w.factor > 1 {
+		steps = w.factor
+	}
+	var instr uint64
+	var done bool
+	for i := 0; i < steps && !done; i++ {
+		var n uint64
+		n, done = w.inner.Step(os)
+		instr += n
+	}
+	if done {
+		w.done = true
+	}
+	return instr, done
+}
+
+// action is one expanded script step: events with a Duration unfold
+// into a start action at At and a clear action at At+Duration.
+type action struct {
+	at    int
+	ev    *Event
+	clear bool
+}
+
+// VMShare is one VM's dominant share in a timeline sample.
+type VMShare struct {
+	ID    vmm.VMID `json:"id"`
+	Share float64  `json:"share"`
+}
+
+// Sample is one timeline point, taken after the epoch's lockstep step.
+// Moves/BalloonIn/BalloonRefused are deltas since the previous sample,
+// summed over all VMs (departed included), so fault windows and
+// lifecycle events visibly perturb the series.
+type Sample struct {
+	Epoch          int          `json:"epoch"`
+	SimTime        sim.Duration `json:"sim_time"`
+	LiveVMs        int          `json:"live_vms"`
+	FastFree       uint64       `json:"fast_free"`
+	Moves          uint64       `json:"moves"`
+	BalloonIn      uint64       `json:"balloon_in"`
+	BalloonRefused uint64       `json:"balloon_refused"`
+	// Shares holds live VMs' DRF dominant shares in boot order (empty
+	// under non-DRF policies).
+	Shares []VMShare `json:"shares,omitempty"`
+}
+
+// VMRun is one VM's scenario outcome.
+type VMRun struct {
+	ID   vmm.VMID `json:"id"`
+	App  string   `json:"app"`
+	Mode string   `json:"mode"`
+	// BootEpoch is when the VM joined (0 for epoch-0 VMs).
+	BootEpoch int `json:"boot_epoch"`
+	// ShutdownEpoch is when the VM departed, or -1 if it stayed to the
+	// end of the run.
+	ShutdownEpoch int `json:"shutdown_epoch"`
+	// Completed reports whether the workload ran to completion (a VM
+	// can be shut down mid-workload, or idle completed until departure).
+	Completed bool          `json:"completed"`
+	Res       core.VMResult `json:"result"`
+}
+
+// Result is a completed scenario run.
+type Result struct {
+	Name string `json:"name"`
+	Seed uint64 `json:"seed"`
+	// Epochs is the number of lockstep epochs the scenario ran.
+	Epochs int `json:"epochs"`
+	// VMs holds every VM that ever ran, in boot order.
+	VMs      []VMRun  `json:"vms"`
+	Timeline []Sample `json:"timeline"`
+	// Sys is the final system (live + departed instances); tests use it
+	// for invariant and share inspection.
+	Sys *core.System `json:"-"`
+}
+
+// runState carries the per-run bookkeeping of one Run call.
+type runState struct {
+	sc    *Scenario
+	sys   *core.System
+	wraps map[vmm.VMID]*surgeWorkload
+	runs  []*VMRun
+
+	timeline   []Sample
+	prevMove   uint64
+	prevBallIn uint64
+	prevRefuse uint64
+}
+
+// vmConfig materialises a VMDesc: mode and workload resolved from the
+// catalogs, the workload seeded from the scenario seed and VM id
+// (stable regardless of boot epoch), and wrapped for surge control.
+func (st *runState) vmConfig(v *VMDesc) (core.VMConfig, error) {
+	mode, err := policy.ByName(v.Mode)
+	if err != nil {
+		return core.VMConfig{}, err
+	}
+	w, err := workload.ByName(v.App, workload.Config{Seed: runner.DeriveSeed(st.sc.Seed, int(v.ID))})
+	if err != nil {
+		return core.VMConfig{}, err
+	}
+	sw := &surgeWorkload{inner: w, factor: 1}
+	st.wraps[vmm.VMID(v.ID)] = sw
+	return core.VMConfig{
+		ID: vmm.VMID(v.ID), Mode: mode, Workload: sw,
+		FastPages: v.FastPages, SlowPages: v.SlowPages,
+		BootFastPages: v.BootFastPages, BootSlowPages: v.BootSlowPages,
+		ReservedFastPages: v.ReservedFastPages, ReservedSlowPages: v.ReservedSlowPages,
+	}, nil
+}
+
+// expandActions unfolds the script into epoch-ordered actions: windowed
+// events contribute a start and (for Duration > 0) a clear. The sort is
+// stable, so actions sharing an epoch keep script order — part of the
+// determinism contract.
+func expandActions(events []Event) []action {
+	var out []action
+	for i := range events {
+		e := &events[i]
+		out = append(out, action{at: e.At, ev: e})
+		switch e.Kind {
+		case KindBalloonRefusal, KindMigrationStall, KindSurge:
+			if e.Duration > 0 {
+				out = append(out, action{at: e.At + e.Duration, ev: e, clear: true})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].at < out[j].at })
+	return out
+}
+
+// apply executes one action against the system at epoch.
+func (st *runState) apply(a action, epoch int) error {
+	e := a.ev
+	switch e.Kind {
+	case KindBoot:
+		vc, err := st.vmConfig(e.Boot)
+		if err != nil {
+			return err
+		}
+		if _, err := st.sys.BootVM(vc); err != nil {
+			return err
+		}
+		st.runs = append(st.runs, &VMRun{
+			ID: vmm.VMID(e.Boot.ID), App: e.Boot.App, Mode: e.Boot.Mode,
+			BootEpoch: epoch, ShutdownEpoch: -1,
+		})
+	case KindShutdown:
+		if _, err := st.sys.ShutdownVM(vmm.VMID(e.VM)); err != nil {
+			return err
+		}
+		// Every departure must leave the machine clean: no leaked
+		// frames, empty P2M, share books consistent.
+		if err := st.sys.CheckInvariants(); err != nil {
+			return fmt.Errorf("after shutdown of VM %d: %w", e.VM, err)
+		}
+		if r := st.runByID(vmm.VMID(e.VM)); r != nil {
+			r.ShutdownEpoch = epoch
+		}
+	case KindThrottleShift:
+		st.sys.SetTierSpec(memsim.SlowMem, e.Throttle.Spec())
+	case KindBalloonRefusal:
+		return st.sys.SetBalloonRefusal(vmm.VMID(e.VM), !a.clear)
+	case KindMigrationStall:
+		return st.sys.SetMigrationStall(vmm.VMID(e.VM), !a.clear)
+	case KindSurge:
+		sw, ok := st.wraps[vmm.VMID(e.VM)]
+		if !ok {
+			return fmt.Errorf("surge targets VM %d before it booted", e.VM)
+		}
+		factor := e.Factor
+		if factor == 0 {
+			factor = 2
+		}
+		sw.active, sw.factor = !a.clear, factor
+		st.sys.EmitFault(vmm.VMID(e.VM), obs.FaultSurge, !a.clear)
+	}
+	return nil
+}
+
+func (st *runState) runByID(id vmm.VMID) *VMRun {
+	for _, r := range st.runs {
+		if r.ID == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// sample appends one timeline point.
+func (st *runState) sample(epoch int) {
+	var move, ballIn, refuse uint64
+	for _, runs := range [][]*core.VMInstance{st.sys.VMs, st.sys.Departed} {
+		for _, inst := range runs {
+			move += inst.Res.Promotions + inst.Res.Demotions + inst.Res.VMMMigrations
+			ballIn += inst.Res.BalloonPagesIn
+			refuse += inst.Res.BalloonRefusedPages
+		}
+	}
+	s := Sample{
+		Epoch:          epoch,
+		SimTime:        st.sys.Now(),
+		LiveVMs:        len(st.sys.VMs),
+		FastFree:       st.sys.Machine.FreeFrames(memsim.FastMem),
+		Moves:          move - st.prevMove,
+		BalloonIn:      ballIn - st.prevBallIn,
+		BalloonRefused: refuse - st.prevRefuse,
+	}
+	st.prevMove, st.prevBallIn, st.prevRefuse = move, ballIn, refuse
+	if st.sc.share() == "drf" {
+		for _, inst := range st.sys.VMs {
+			s.Shares = append(s.Shares, VMShare{ID: inst.ID, Share: st.sys.DRFDominantShare(inst.ID)})
+		}
+	}
+	st.timeline = append(st.timeline, s)
+}
+
+// Run executes the scenario. h, when non-nil, attaches observability:
+// lifecycle and fault events, every layer's chokepoint events, and the
+// metrics registry all report into it (the caller owns and closes it).
+// The returned result holds per-VM outcomes in boot order, the sampled
+// timeline, and the final system.
+//
+// Determinism: the result — and, with h attached, the emitted event
+// stream — is a pure function of (*sc, sc.Seed).
+func (sc *Scenario) Run(ctx context.Context, h *obs.Obs) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	st := &runState{sc: sc, wraps: make(map[vmm.VMID]*surgeWorkload)}
+	cfg := core.Config{
+		FastFrames: sc.FastFrames,
+		SlowFrames: sc.SlowFrames,
+		Share:      core.ShareKind(sc.share()),
+		MaxEpochs:  sc.maxEpochs(),
+		Obs:        h,
+		Seed:       sc.Seed,
+	}
+	if sc.SlowThrottle != nil {
+		cfg.SlowSpec = sc.SlowThrottle.Spec()
+	}
+	for i := range sc.VMs {
+		v := &sc.VMs[i]
+		vc, err := st.vmConfig(v)
+		if err != nil {
+			return nil, err
+		}
+		cfg.VMs = append(cfg.VMs, vc)
+		st.runs = append(st.runs, &VMRun{
+			ID: vmm.VMID(v.ID), App: v.App, Mode: v.Mode, ShutdownEpoch: -1,
+		})
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	st.sys = sys
+
+	actions := expandActions(sc.Events)
+	every := sc.sampleEvery()
+	lastSampled := -1
+	for epoch := 0; epoch < sc.maxEpochs(); epoch++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		fired := false
+		for len(actions) > 0 && actions[0].at <= epoch {
+			a := actions[0]
+			actions = actions[1:]
+			fired = true
+			if err := st.apply(a, epoch); err != nil {
+				return nil, fmt.Errorf("scenario %q epoch %d: %w", sc.Name, epoch, err)
+			}
+		}
+		alive, err := sys.StepEpoch()
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		if fired || epoch%every == 0 {
+			st.sample(epoch)
+			lastSampled = epoch
+		}
+		if !alive && len(actions) == 0 {
+			if lastSampled != epoch {
+				st.sample(epoch)
+			}
+			break
+		}
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("scenario %q: final invariants: %w", sc.Name, err)
+	}
+
+	res := &Result{Name: sc.Name, Seed: sc.Seed, Epochs: sys.Epochs(), Timeline: st.timeline, Sys: sys}
+	for _, r := range st.runs {
+		vr, ok := sys.VMResultByID(r.ID)
+		if !ok {
+			return nil, fmt.Errorf("scenario %q: VM %d vanished", sc.Name, r.ID)
+		}
+		r.Res = *vr
+		if sw, ok := st.wraps[r.ID]; ok {
+			r.Completed = sw.done
+		}
+		res.VMs = append(res.VMs, *r)
+	}
+	return res, nil
+}
+
+// Table renders the per-VM outcomes.
+func (r *Result) Table() *metrics.Table {
+	t := metrics.NewTable("scenario "+r.Name,
+		"vm", "app", "mode", "boot", "shutdown", "epochs", "runtime-s",
+		"promotions", "demotions", "vmm-moves", "balloon-in", "refused", "stalled")
+	for i := range r.VMs {
+		v := &r.VMs[i]
+		shutdown := "-"
+		if v.ShutdownEpoch >= 0 {
+			shutdown = fmt.Sprintf("%d", v.ShutdownEpoch)
+		}
+		t.AddRow(int(v.ID), v.App, v.Mode, v.BootEpoch, shutdown, v.Res.Epochs,
+			fmt.Sprintf("%.3f", v.Res.SimTime.Seconds()),
+			v.Res.Promotions, v.Res.Demotions, v.Res.VMMMigrations,
+			v.Res.BalloonPagesIn, v.Res.BalloonRefusedPages, v.Res.MigrationStalledPasses)
+	}
+	return t
+}
+
+// TimelineTable renders the sampled scenario timeline.
+func (r *Result) TimelineTable() *metrics.Table {
+	t := metrics.NewTable("timeline "+r.Name,
+		"epoch", "sim-s", "vms", "fast-free", "moves", "balloon-in", "refused", "drf-shares")
+	for i := range r.Timeline {
+		s := &r.Timeline[i]
+		var shares strings.Builder
+		for j, sh := range s.Shares {
+			if j > 0 {
+				shares.WriteByte(' ')
+			}
+			fmt.Fprintf(&shares, "%d:%.3f", sh.ID, sh.Share)
+		}
+		sh := shares.String()
+		if sh == "" {
+			sh = "-"
+		}
+		t.AddRow(s.Epoch, fmt.Sprintf("%.3f", s.SimTime.Seconds()), s.LiveVMs,
+			s.FastFree, s.Moves, s.BalloonIn, s.BalloonRefused, sh)
+	}
+	return t
+}
+
+// RunMany executes scenarios through the runner pool: bounded
+// concurrency, per-job panic isolation, and results in input order.
+// Per-scenario observability handles come from opts.NewObs (closed
+// after each run); results are byte-identical across worker counts.
+func RunMany(ctx context.Context, scs []*Scenario, opts runner.Options) ([]*Result, error) {
+	pool := runner.NewPool(ctx, opts)
+	out := make([]*Result, len(scs))
+	futures := make([]*runner.Future, len(scs))
+	for i, sc := range scs {
+		i, sc := i, sc
+		futures[i] = pool.SubmitFunc(sc.Name, func(ctx context.Context) (*core.VMResult, *core.System, error) {
+			var h *obs.Obs
+			if opts.NewObs != nil {
+				h = opts.NewObs(sc.Name, sc.Seed)
+				if h != nil && h.RunTag() == "" {
+					h.SetRunTag(sc.Name)
+				}
+			}
+			r, err := sc.Run(ctx, h)
+			if cerr := h.Close(); err == nil && cerr != nil {
+				err = cerr
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			out[i] = r
+			return &r.VMs[0].Res, r.Sys, nil
+		})
+	}
+	var firstErr error
+	for _, f := range futures {
+		if err := f.Err(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("scenario %q: %w", f.Label(), err)
+		}
+	}
+	return out, firstErr
+}

@@ -12,6 +12,10 @@ import (
 type SharePolicy interface {
 	Name() string
 	Register(vm *VM) error
+	// Unregister removes a departing VM from the policy's books. The VM
+	// must have released every granted frame first (DestroyVM enforces
+	// this), so the policy drops only zero-valued state.
+	Unregister(vm *VM)
 	// Authorize returns how many of the want frames the VM may take now.
 	Authorize(vm *VM, t memsim.Tier, want uint64) uint64
 	// OnGrant / OnRelease keep the policy's books in sync with actual
@@ -32,6 +36,9 @@ func (StaticShare) Name() string { return "static" }
 
 // Register implements SharePolicy.
 func (StaticShare) Register(*VM) error { return nil }
+
+// Unregister implements SharePolicy.
+func (StaticShare) Unregister(*VM) {}
 
 // Authorize implements SharePolicy.
 func (StaticShare) Authorize(vm *VM, t memsim.Tier, want uint64) uint64 {
@@ -62,6 +69,9 @@ func (MaxMinShare) Name() string { return "max-min" }
 
 // Register implements SharePolicy.
 func (MaxMinShare) Register(*VM) error { return nil }
+
+// Unregister implements SharePolicy.
+func (MaxMinShare) Unregister(*VM) {}
 
 // Authorize implements SharePolicy.
 func (MaxMinShare) Authorize(vm *VM, t memsim.Tier, want uint64) uint64 {
@@ -157,6 +167,16 @@ func (*DRFShare) Name() string { return "weighted-DRF" }
 // Register implements SharePolicy.
 func (d *DRFShare) Register(vm *VM) error {
 	return d.alloc.AddClient(drf.ClientID(vm.Spec.ID))
+}
+
+// Unregister implements SharePolicy. Dropping the client releases its
+// (already zero, per DestroyVM's precondition) allocation vector, so the
+// surviving VMs' dominant shares are computed over the new membership on
+// the very next Authorize call.
+func (d *DRFShare) Unregister(vm *VM) {
+	if err := d.alloc.RemoveClient(drf.ClientID(vm.Spec.ID)); err != nil {
+		panic("vmm: DRF books diverged on unregister: " + err.Error())
+	}
 }
 
 func demandVec(t memsim.Tier, n uint64) []float64 {

@@ -61,6 +61,10 @@ type VM struct {
 	// Guest hooks, bound after the guest boots.
 	Balloon BalloonDriver
 	View    GuestView
+	// RefusePopulate is the fault-injection hook: while set, the balloon
+	// back-end refuses every populate request from this VM (the guest
+	// sees a zero grant and surfaces it as a balloon-refused shortfall).
+	RefusePopulate bool
 }
 
 // Granted reports the frames currently granted to the VM in tier t.
@@ -117,6 +121,33 @@ func (m *VMM) CreateVM(spec VMSpec) (*VM, error) {
 	return vm, nil
 }
 
+// DestroyVM deregisters a departed VM. The guest must have been torn
+// down first: the VM may hold no granted frames (the balloon unwound and
+// every machine frame back in the pool), so the share policy drops only
+// zero-valued state and the freed reservation is immediately available
+// to future CreateVM admission checks.
+func (m *VMM) DestroyVM(id VMID) error {
+	vm, ok := m.vms[id]
+	if !ok {
+		return fmt.Errorf("vmm: DestroyVM: no VM %d", id)
+	}
+	for t := memsim.Tier(0); t < memsim.NumTiers; t++ {
+		if vm.granted[t] != 0 {
+			return fmt.Errorf("vmm: DestroyVM: VM %d still holds %d %v frames", id, vm.granted[t], t)
+		}
+	}
+	m.share.Unregister(vm)
+	delete(m.vms, id)
+	for i, oid := range m.order {
+		if oid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	vm.vmm = nil
+	return nil
+}
+
 // VMByID returns a registered VM.
 func (m *VMM) VMByID(id VMID) (*VM, bool) {
 	vm, ok := m.vms[id]
@@ -138,7 +169,7 @@ func (m *VMM) VMs() []*VM {
 // share policy. When the policy authorises more than the machine has
 // free, the policy is responsible for reclaiming (ballooning) first.
 func (v *VM) Populate(t memsim.Tier, want uint64) []memsim.MFN {
-	if want == 0 {
+	if want == 0 || v.RefusePopulate {
 		return nil
 	}
 	if room := v.Spec.MaxPages[t] - v.granted[t]; want > room {
