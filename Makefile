@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check obs-parity scenario-smoke bench bench-all figures
+.PHONY: all build test vet race check obs-parity scenario-smoke backend-parity bench bench-all bench-json figures
 
 all: check
 
@@ -20,6 +20,8 @@ test:
 # with the sweep jobs.
 race:
 	$(GO) test -race ./internal/runner ./internal/core ./internal/vmm/... ./internal/scenario
+	$(GO) test -race -run 'Backend|Coarse|Replay|Record|Trace|GainSweep' \
+		./internal/memsim ./internal/exp
 
 # obs-parity asserts the observability contract: the figure pipeline's
 # stdout is byte-identical with and without metrics collection attached
@@ -54,17 +56,56 @@ scenario-smoke:
 		echo "scenario-smoke: $$sc deterministic"; \
 	done
 
+# backend-parity pins the default machine-model backend to the seed:
+# the analytic backend (explicitly selected, exercising the -backend
+# flag path) must reproduce the committed figure CSVs byte-for-byte.
+# The goldens under testdata/backend/ were captured from the pre-backend
+# seed tree, so any pricing drift — in the engine or in the backend
+# plumbing around it — fails the gate.
+backend-parity:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/heterobench -exp figure9 -quick -backend analytic \
+		-format=csv > "$$tmp/f9.csv" || exit 1; \
+	$(GO) run ./cmd/heterobench -exp figure6 -quick -backend analytic \
+		-format=csv > "$$tmp/f6.csv" || exit 1; \
+	for f in f9:figure9_quick f6:figure6_quick; do \
+		got="$$tmp/$${f%%:*}.csv"; want="testdata/backend/$${f#*:}.csv"; \
+		if ! cmp -s "$$want" "$$got"; then \
+			echo "backend-parity: analytic output drifted from $$want:"; \
+			diff "$$want" "$$got"; exit 1; \
+		fi; \
+	done; \
+	echo "backend-parity: analytic backend byte-identical to seed figures"
+
 # check is the pre-commit gate: static analysis, full build, the full
 # test suite, the race detector over the concurrent packages, the
-# observability no-perturbation check, and the scenario smoke run.
-check: vet build test race obs-parity scenario-smoke
+# observability no-perturbation check, the scenario smoke run, and the
+# machine-model backend parity gate.
+check: vet build test race obs-parity scenario-smoke backend-parity
 
 # bench runs the ranking and figure9-sweep benchmarks at benchstat-grade
 # repetition: save the output before and after a change and compare the
 # two files with benchstat.
 bench:
-	$(GO) test -run=NONE -bench='HottestIn|ColdestIn|HotScan|SweepFigure9' \
+	$(GO) test -run=NONE -bench='HottestIn|ColdestIn|HotScan|SweepFigure9|EpochPricing' \
 		-benchmem -count=5 .
+
+# bench-json regenerates the committed perf-trajectory baselines: the
+# analytic-side benchmarks into BENCH_analytic.json and the coarse
+# backend (with its epoch-pricing speedup over analytic) into
+# BENCH_coarse.json.
+bench-json:
+	@tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) test -run=NONE -bench='HottestIn|ColdestIn|HotScan|SweepFigure9|EpochPricing' \
+		-benchmem -count=5 . > "$$tmp" || { cat "$$tmp"; exit 1; }; \
+	$(GO) run ./cmd/benchjson -label analytic \
+		-match 'HottestIn|ColdestIn|HotScan|SweepFigure9Workers|EpochPricingAnalytic' \
+		< "$$tmp" > BENCH_analytic.json || exit 1; \
+	$(GO) run ./cmd/benchjson -label coarse \
+		-match 'SweepFigure9Coarse|EpochPricingCoarse' \
+		-speedup EpochPricingCoarse=EpochPricingAnalytic \
+		< "$$tmp" > BENCH_coarse.json || exit 1; \
+	echo "bench-json: wrote BENCH_analytic.json BENCH_coarse.json"
 
 # bench-all smoke-runs every benchmark once (artifact regeneration
 # included), trading statistical weight for coverage.

@@ -455,6 +455,66 @@ func BenchmarkSweepFigure9WorkersMax(b *testing.B) {
 	benchExperimentWorkers(b, "figure9", true, runtime.GOMAXPROCS(0))
 }
 
+// --- Machine-model backends: epoch-pricing throughput ---
+
+// benchEpochPricing streams a varied epoch-charge mix through one
+// backend's full pricing path — the LLC rescale plus Charge, exactly
+// what core.System.stepVM pays per VM per epoch. This is the loop the
+// coarse backend exists to accelerate (DESIGN.md §5f): analytic spends
+// most of it in the power-law MPKI rescale and the per-tier store
+// visibility model, both of which coarse elides.
+func benchEpochPricing(b *testing.B, build memsim.Builder) {
+	b.Helper()
+	m := memsim.NewMachine(4096, 4096, memsim.FastTierSpec(), memsim.SlowTierSpec())
+	be := build(m)
+	llc := memsim.DefaultLLC()
+	// One representative GraphChi-like epoch, cache-hot: mixed-tier
+	// load/store traffic with a working set well past the LLC so the
+	// analytic power-law rescale runs its full path. The interface
+	// boundary keeps both calls opaque to the compiler.
+	ch := memsim.EpochCharge{
+		Instr: 2_500_000_000, Threads: 8, MLP: 2.5,
+		BytesPerMiss: 48, StoreVisibleFrac: 0.35, OSTime: 1_000_000,
+	}
+	ch.Traffic[memsim.FastMem] = memsim.TierTraffic{LoadMisses: 30_000_000, StoreMisses: 9_000_000}
+	ch.Traffic[memsim.SlowMem] = memsim.TierTraffic{LoadMisses: 8_000_000, StoreMisses: 2_000_000}
+	const wssBytes = 6 << 30
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += be.EffectiveMPKI(llc, 14.2, wssBytes)
+		sink += float64(be.Charge(ch).Total)
+	}
+	benchPricingSink = sink
+}
+
+var benchPricingSink float64
+
+func BenchmarkEpochPricingAnalytic(b *testing.B) { benchEpochPricing(b, memsim.AnalyticBackend) }
+func BenchmarkEpochPricingCoarse(b *testing.B)   { benchEpochPricing(b, memsim.CoarseBackend) }
+
+// The Figure 9 sweep priced end-to-end through the coarse backend —
+// compare against BenchmarkSweepFigure9WorkersMax (analytic) for the
+// whole-simulation effect of cheaper pricing.
+func BenchmarkSweepFigure9Coarse(b *testing.B) {
+	e, ok := exp.ByID("figure9")
+	if !ok {
+		b.Fatal("figure9 missing from registry")
+	}
+	coarse := func(string, uint64) memsim.Builder { return memsim.CoarseBackend }
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(context.Background(), exp.Options{
+			Seed: 1, Quick: true, Workers: runtime.GOMAXPROCS(0), NewBackend: coarse})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Table.String())
+		}
+	}
+}
+
 // benchRunnerBatch pushes a fixed batch of memlat simulations through
 // the runner at the given worker count.
 func benchRunnerBatch(b *testing.B, workers int) {
@@ -514,8 +574,7 @@ func TestInstrumentedChokepointsZeroAlloc(t *testing.T) {
 
 	src, _, indexed := benchRankingScanners(t)
 	indexed.AttachObs(scope)
-	eng := memsim.NewEngine(src.m)
-	eng.Obs = memsim.NewEngineObs(handle.Metrics)
+	eng := memsim.NewAnalytic(src.m, memsim.WithObs(handle.Metrics))
 	charge := memsim.EpochCharge{Instr: 1 << 20, Threads: 1, MLP: 1, BytesPerMiss: 64}
 	charge.Traffic[memsim.FastMem] = memsim.TierTraffic{LoadMisses: 1000, StoreMisses: 100}
 	charge.Traffic[memsim.SlowMem] = memsim.TierTraffic{LoadMisses: 500, StoreMisses: 50}

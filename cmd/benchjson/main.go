@@ -1,0 +1,175 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a committed JSON baseline (the repo's BENCH_*.json perf trajectory).
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchmem -count=5 . > bench.txt
+//	benchjson -label analytic -match 'Analytic$' < bench.txt > BENCH_analytic.json
+//	benchjson -label coarse -match 'Coarse$' \
+//	    -speedup EpochPricingCoarse=EpochPricingAnalytic < bench.txt > BENCH_coarse.json
+//
+// Repeated -count runs of one benchmark are kept as samples and
+// summarised by their mean; -speedup NAME=BASELINE records the
+// baseline-to-name throughput factor (both names must appear in the
+// input, pre -match filtering, so a coarse baseline can reference the
+// analytic benchmark from the same run).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type sample struct {
+	Iters      int64   `json:"iters"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"b_per_op"`
+	AllocsOp   float64 `json:"allocs_per_op"`
+}
+
+type benchmark struct {
+	Name        string   `json:"name"`
+	Samples     []sample `json:"samples"`
+	MeanNsPerOp float64  `json:"mean_ns_per_op"`
+}
+
+type speedup struct {
+	Benchmark string  `json:"benchmark"`
+	Baseline  string  `json:"baseline"`
+	Factor    float64 `json:"factor"`
+}
+
+type baseline struct {
+	Label      string      `json:"label"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+	Speedup    *speedup    `json:"speedup,omitempty"`
+}
+
+// benchLine matches "BenchmarkX-8  1000  123.4 ns/op  0 B/op  0 allocs/op"
+// (the -benchmem columns are optional).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	label := flag.String("label", "", "baseline label (e.g. the backend name)")
+	match := flag.String("match", "", "regexp keeping only matching benchmark names")
+	speedupF := flag.String("speedup", "", "NAME=BASELINE: record baseline/name mean-ns ratio")
+	flag.Parse()
+
+	keep := regexp.MustCompile(*match)
+	out := baseline{Label: *label}
+	means := map[string]float64{} // all parsed names, pre-filter
+	byName := map[string]*benchmark{}
+	var order []string
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "goos: "); ok {
+			out.Goos = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+			out.Goarch = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			out.CPU = v
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		s := sample{
+			Iters:      mustInt(m[2]),
+			NsPerOp:    mustFloat(m[3]),
+			BytesPerOp: optFloat(m[4]),
+			AllocsOp:   optFloat(m[5]),
+		}
+		if byName[name] == nil {
+			byName[name] = &benchmark{Name: name}
+			order = append(order, name)
+		}
+		byName[name].Samples = append(byName[name].Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		die("read: %v", err)
+	}
+
+	for _, name := range order {
+		b := byName[name]
+		var sum float64
+		for _, s := range b.Samples {
+			sum += s.NsPerOp
+		}
+		b.MeanNsPerOp = round2(sum / float64(len(b.Samples)))
+		means[name] = b.MeanNsPerOp
+		if keep.MatchString(name) {
+			out.Benchmarks = append(out.Benchmarks, *b)
+		}
+	}
+	if len(out.Benchmarks) == 0 {
+		die("no benchmarks matched %q", *match)
+	}
+
+	if *speedupF != "" {
+		name, base, ok := strings.Cut(*speedupF, "=")
+		if !ok {
+			die("-speedup wants NAME=BASELINE, got %q", *speedupF)
+		}
+		nm, bm := means[name], means[base]
+		if nm == 0 || bm == 0 {
+			die("-speedup: %q or %q missing from input", name, base)
+		}
+		out.Speedup = &speedup{Benchmark: name, Baseline: base, Factor: round2(bm / nm)}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		die("encode: %v", err)
+	}
+}
+
+func mustInt(s string) int64 {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		die("bad int %q: %v", s, err)
+	}
+	return v
+}
+
+func mustFloat(s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		die("bad float %q: %v", s, err)
+	}
+	return v
+}
+
+func optFloat(s string) float64 {
+	if s == "" {
+		return 0
+	}
+	return mustFloat(s)
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+func die(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

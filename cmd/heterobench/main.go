@@ -20,6 +20,12 @@
 // Observability:
 //
 //	heterobench -exp figure6 -metrics m.csv   # per-run metrics snapshots
+//
+// Machine-model backends (see DESIGN.md §5f):
+//
+//	heterobench -exp figure9 -backend coarse          # fast approximate sweep
+//	heterobench -exp figure9 -record-trace traces/f9  # one JSONL per sweep cell
+//	heterobench -exp figure9 -replay-trace cell.jsonl # replay one recorded cell
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"time"
 
 	"heteroos/internal/exp"
+	"heteroos/internal/memsim"
 	"heteroos/internal/obs"
 )
 
@@ -113,6 +120,9 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to `file`")
 		memprofile = flag.String("memprofile", "", "write a heap profile to `file` at exit")
 		metricsOut = flag.String("metrics", "", "write per-run metrics snapshots (CSV) to `file`")
+		backendF   = flag.String("backend", "analytic", "machine-model backend: analytic, coarse, or replay (needs -replay-trace)")
+		recordF    = flag.String("record-trace", "", "record each sweep cell's epoch stream as `prefix`-NNN-label.jsonl")
+		replayF    = flag.String("replay-trace", "", "replay a recorded JSONL epoch stream in every cell (selects the replay backend)")
 	)
 	flag.Parse()
 
@@ -156,7 +166,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := exp.Options{Seed: *seed, Quick: *quick, Workers: *workers}
+	backendHook, closeBackend, err := setupBackend(*backendF, *recordF, *replayF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "heterobench: %v\n", err)
+		os.Exit(2)
+	}
+
+	opts := exp.Options{Seed: *seed, Quick: *quick, Workers: *workers, NewBackend: backendHook}
 	if *progress {
 		opts.Progress = func(done, submitted int, label string) {
 			fmt.Fprintf(os.Stderr, "  [%d/%d] %s\n", done, submitted, label)
@@ -226,4 +242,113 @@ func main() {
 			_ = start
 		}
 	}
+	if err := closeBackend(); err != nil {
+		fmt.Fprintf(os.Stderr, "heterobench: -record-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// traceRecording fans one -record-trace prefix out into one JSONL file
+// per sweep cell. File creation happens in the NewBackend hook — called
+// serially at submission — so the NNN numbering is deterministic for a
+// fixed experiment config; the recorder list is mutex-guarded because
+// the returned builders run on pool workers.
+type traceRecording struct {
+	inner  memsim.Builder
+	prefix string
+	n      int
+
+	mu    sync.Mutex
+	files []*os.File
+	recs  []*memsim.Recorder
+}
+
+func (t *traceRecording) hook(label string, seed uint64) memsim.Builder {
+	t.n++
+	path := fmt.Sprintf("%s-%03d-%s.jsonl", t.prefix, t.n, sanitizeLabel(label))
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "heterobench: -record-trace: %v\n", err)
+		os.Exit(1)
+	}
+	t.mu.Lock()
+	t.files = append(t.files, f)
+	t.mu.Unlock()
+	return func(m *memsim.Machine, opts ...memsim.Option) memsim.Backend {
+		r := memsim.NewRecorder(t.inner(m, opts...), f)
+		t.mu.Lock()
+		t.recs = append(t.recs, r)
+		t.mu.Unlock()
+		return r
+	}
+}
+
+func (t *traceRecording) close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var first error
+	for _, r := range t.recs {
+		if err := r.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, f := range t.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// sanitizeLabel maps a sweep-cell label to a filename fragment.
+func sanitizeLabel(label string) string {
+	out := []byte(label)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '.':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// setupBackend resolves the backend flags into an exp.Options.NewBackend
+// hook (nil when the default analytic path needs no per-job hook) plus a
+// cleanup that flushes any recording.
+func setupBackend(name, record, replay string) (func(label string, seed uint64) memsim.Builder, func() error, error) {
+	if record != "" && replay != "" {
+		return nil, nil, errors.New("-record-trace and -replay-trace are mutually exclusive")
+	}
+	noClose := func() error { return nil }
+	var build memsim.Builder
+	switch {
+	case replay != "":
+		if name != memsim.BackendAnalytic && name != memsim.BackendReplay {
+			return nil, nil, fmt.Errorf("-replay-trace selects the replay backend; -backend %s conflicts", name)
+		}
+		tr, err := memsim.LoadTraceFile(replay)
+		if err != nil {
+			return nil, nil, err
+		}
+		// One shared trace; every built backend replays it from the
+		// start with an independent cursor.
+		build = tr.Builder()
+	default:
+		b, err := memsim.BuilderByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		build = b
+	}
+	if record != "" {
+		rec := &traceRecording{inner: build, prefix: record}
+		return rec.hook, rec.close, nil
+	}
+	if replay == "" && (name == "" || name == memsim.BackendAnalytic) {
+		// The default backend needs no hook: core builds analytic when
+		// Config.Backend is nil, and a nil hook keeps that path.
+		return nil, noClose, nil
+	}
+	return func(string, uint64) memsim.Builder { return build }, noClose, nil
 }

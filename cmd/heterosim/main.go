@@ -23,6 +23,12 @@
 //	heterosim -chrome-trace=out.trace   # Perfetto / chrome://tracing export
 //	heterosim -metrics=out.csv          # end-of-run metrics snapshot
 //	heterosim -trace -format=csv        # per-epoch series as CSV
+//
+// Machine-model backends (see DESIGN.md §5f):
+//
+//	heterosim -backend coarse                    # fast approximate pricing
+//	heterosim -record-trace run.jsonl            # record the epoch stream
+//	heterosim -replay-trace run.jsonl            # replay a recorded stream
 package main
 
 import (
@@ -58,6 +64,9 @@ func main() {
 		events    = flag.String("events", "", "write structured events as JSON lines to this file")
 		chrome    = flag.String("chrome-trace", "", "write a Chrome trace_event export (Perfetto-loadable) to this file")
 		metricsF  = flag.String("metrics", "", "write an end-of-run metrics snapshot (CSV) to this file")
+		backendF  = flag.String("backend", "analytic", "machine-model backend: analytic, coarse, or replay (needs -replay-trace)")
+		recordF   = flag.String("record-trace", "", "record the per-epoch (charge, cost) stream as JSONL to this file")
+		replayF   = flag.String("replay-trace", "", "replay a recorded JSONL epoch stream (selects the replay backend)")
 	)
 	flag.Parse()
 
@@ -80,15 +89,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	build, closeBackend, err := buildBackend(*backendF, *recordF, *replayF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heterosim:", err)
+		os.Exit(2)
+	}
+
 	if *scenarioF != "" {
-		// -seed overrides the scenario's seed only when given explicitly.
+		// -seed overrides the scenario's seed only when given explicitly;
+		// likewise the backend flags override the scenario's own backend
+		// field only when one of them was actually passed.
 		var seedOverride *uint64
+		backendOverride := false
 		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "seed" {
+			switch f.Name {
+			case "seed":
 				seedOverride = seed
+			case "backend", "record-trace", "replay-trace":
+				backendOverride = true
 			}
 		})
-		runScenario(*scenarioF, seedOverride, *format, *events, *chrome, *metricsF)
+		if !backendOverride {
+			build = nil
+		}
+		runScenario(*scenarioF, seedOverride, build, closeBackend, *format, *events, *chrome, *metricsF)
 		return
 	}
 
@@ -123,6 +147,7 @@ func main() {
 	runTag := fmt.Sprintf("%s/%s ratio=%d seed=%d", *app, *modeName, *ratio, *seed)
 	handle, closeObs := newObsHandle(runTag, *events, *chrome, *metricsF)
 	cfg.Obs = handle
+	cfg.Backend = build
 
 	// Ctrl-C cancels the run at the next simulation epoch.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -170,11 +195,13 @@ func main() {
 		writeMetrics(handle, *metricsF)
 	}
 	closeObs()
+	closeBackendOrDie(closeBackend)
 }
 
 // runScenario executes a scripted multi-VM scenario and prints its
-// per-VM outcomes and sampled timeline.
-func runScenario(path string, seedOverride *uint64, format, events, chrome, metricsF string) {
+// per-VM outcomes and sampled timeline. A non-nil build overrides the
+// scenario's own backend field (CLI flags win over the JSON).
+func runScenario(path string, seedOverride *uint64, build memsim.Builder, closeBackend func() error, format, events, chrome, metricsF string) {
 	sc, err := scenario.LoadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "heterosim:", err)
@@ -182,6 +209,9 @@ func runScenario(path string, seedOverride *uint64, format, events, chrome, metr
 	}
 	if seedOverride != nil {
 		sc.Seed = *seedOverride
+	}
+	if build != nil {
+		sc.WithBackendBuilder(build)
 	}
 	runTag := fmt.Sprintf("scenario/%s seed=%d", sc.Name, sc.Seed)
 	handle, closeObs := newObsHandle(runTag, events, chrome, metricsF)
@@ -210,6 +240,69 @@ func runScenario(path string, seedOverride *uint64, format, events, chrome, metr
 		writeMetrics(handle, metricsF)
 	}
 	closeObs()
+	closeBackendOrDie(closeBackend)
+}
+
+// buildBackend resolves the backend flags into a core.Config builder
+// plus a cleanup that flushes any trace recording. The returned builder
+// is never nil; unknown names surface memsim.ErrUnknownBackend.
+func buildBackend(name, record, replay string) (memsim.Builder, func() error, error) {
+	if record != "" && replay != "" {
+		return nil, nil, errors.New("-record-trace and -replay-trace are mutually exclusive")
+	}
+	var build memsim.Builder
+	if replay != "" {
+		if name != memsim.BackendAnalytic && name != memsim.BackendReplay {
+			return nil, nil, fmt.Errorf("-replay-trace selects the replay backend; -backend %s conflicts", name)
+		}
+		tr, err := memsim.LoadTraceFile(replay)
+		if err != nil {
+			return nil, nil, err
+		}
+		build = tr.Builder()
+	} else {
+		b, err := memsim.BuilderByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		build = b
+	}
+	closeBackend := func() error { return nil }
+	if record != "" {
+		f, err := os.Create(record)
+		if err != nil {
+			return nil, nil, err
+		}
+		inner := build
+		var recorders []*memsim.Recorder
+		build = func(m *memsim.Machine, opts ...memsim.Option) memsim.Backend {
+			r := memsim.NewRecorder(inner(m, opts...), f)
+			recorders = append(recorders, r)
+			return r
+		}
+		closeBackend = func() error {
+			var first error
+			for _, r := range recorders {
+				if err := r.Flush(); err != nil && first == nil {
+					first = err
+				}
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+			return first
+		}
+	}
+	return build, closeBackend, nil
+}
+
+// closeBackendOrDie flushes trace recording; an unwritable trace is a
+// hard error (a truncated recording would replay wrong).
+func closeBackendOrDie(closeBackend func() error) {
+	if err := closeBackend(); err != nil {
+		fmt.Fprintln(os.Stderr, "heterosim: record-trace:", err)
+		os.Exit(1)
+	}
 }
 
 // newObsHandle builds an observability handle when any output was

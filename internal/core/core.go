@@ -92,6 +92,13 @@ type Config struct {
 	// default) keeps the hot path allocation-free and the simulation
 	// output byte-identical — observation never alters behaviour.
 	Obs *obs.Obs
+	// Backend builds the machine-model backend the system prices epochs
+	// with. nil defaults to memsim.AnalyticBackend — the Table-3
+	// fidelity reference. NewSystem invokes the builder once, with the
+	// machine it just built plus the CPU/obs options, so callers select
+	// a model per job without constructing it themselves (see
+	// memsim.BuilderByName and Trace.Builder).
+	Backend memsim.Builder
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -314,7 +321,9 @@ type System struct {
 	Cfg     Config
 	Machine *memsim.Machine
 	VMM     *vmm.VMM
-	Engine  *memsim.Engine
+	// Backend prices epochs. It is the analytic Table-3 engine unless
+	// Config.Backend selected another model.
+	Backend memsim.Backend
 	// VMs holds the live guests; Departed holds guests that were shut
 	// down mid-run (their VMResult is final, their frames returned).
 	VMs      []*VMInstance
@@ -356,11 +365,15 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("core: unknown share policy %q", cfg.Share)
 	}
 	s.VMM = vmm.New(s.Machine, share)
-	s.Engine = memsim.NewEngine(s.Machine)
-	s.Engine.CPU = cfg.CPU
-	if cfg.Obs != nil {
-		s.Engine.Obs = memsim.NewEngineObs(cfg.Obs.Metrics)
+	build := cfg.Backend
+	if build == nil {
+		build = memsim.AnalyticBackend
 	}
+	backendOpts := []memsim.Option{memsim.WithCPU(cfg.CPU)}
+	if cfg.Obs != nil {
+		backendOpts = append(backendOpts, memsim.WithObs(cfg.Obs.Metrics))
+	}
+	s.Backend = build(s.Machine, backendOpts...)
 
 	for _, vc := range cfg.VMs {
 		inst, err := s.bootVM(vc)

@@ -185,8 +185,10 @@ func (s *System) stepVM(inst *VMInstance) error {
 
 	// 5. Convert the epoch's work into LLC-miss traffic. Total miss
 	// volume comes from the workload's MPKI rescaled for the platform
-	// LLC; the per-tier split follows the observed touch distribution.
-	effMPKI := prof.MPKI * s.Cfg.LLC.MPKIScale(prof.WSSBytes)
+	// LLC (the backend owns the rescale: analytic applies the power-law
+	// miss curve, coarse skips it); the per-tier split follows the
+	// observed touch distribution.
+	effMPKI := s.Backend.EffectiveMPKI(s.Cfg.LLC, prof.MPKI, prof.WSSBytes)
 	totalMisses := float64(instr) / 1000 * effMPKI
 
 	var loads, stores [memsim.NumTiers]float64
@@ -226,7 +228,7 @@ func (s *System) stepVM(inst *VMInstance) error {
 		}
 	}
 
-	cost := s.Engine.Charge(charge)
+	cost := s.Backend.Charge(charge)
 	inst.Clock.Advance(cost.Total)
 	inst.scanDebt += cost.Total
 	// The coordinated migration budget scales with how well promotions

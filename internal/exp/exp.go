@@ -46,6 +46,10 @@ type Options struct {
 	// gets its own observability handle built from its label and seed
 	// (see runner.Options.NewObs).
 	NewObs func(label string, seed uint64) *obs.Obs
+	// NewBackend, when set, is forwarded to the runner: each sweep cell
+	// prices epochs through the backend this builder factory selects
+	// (see runner.Options.NewBackend). nil keeps the analytic default.
+	NewBackend func(label string, seed uint64) memsim.Builder
 }
 
 func (o Options) seed() uint64 {
@@ -142,7 +146,7 @@ type sweep struct {
 }
 
 func newSweep(ctx context.Context, o Options) *sweep {
-	ropts := runner.Options{Workers: o.Workers, NewObs: o.NewObs}
+	ropts := runner.Options{Workers: o.Workers, NewObs: o.NewObs, NewBackend: o.NewBackend}
 	if o.Progress != nil {
 		ropts.Progress = func(done, submitted int, r runner.Result) {
 			o.Progress(done, submitted, r.Label)

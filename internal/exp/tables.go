@@ -16,9 +16,9 @@ func Table1(_ context.Context, o Options) (*Result, error) {
 	t := metrics.NewTable("Table 1: Heterogeneous memory characteristics",
 		"Property", "Stacked-3D", "DRAM", "NVM (PCM)")
 	get := func(c memsim.DeviceClass) memsim.DeviceSpec {
-		d, ok := memsim.DeviceByClass(c)
-		if !ok {
-			panic("missing device")
+		d, err := memsim.DeviceByClass(c)
+		if err != nil {
+			panic(err)
 		}
 		return d
 	}

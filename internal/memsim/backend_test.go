@@ -1,0 +1,271 @@
+package memsim
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"heteroos/internal/obs"
+	"heteroos/internal/sim"
+)
+
+// backendCharges is a small varied charge stream exercising both tiers,
+// store traffic, MLP/thread spread, and OS time.
+func backendCharges() []EpochCharge {
+	var out []EpochCharge
+	for i := 0; i < 16; i++ {
+		c := EpochCharge{
+			Instr:            uint64(1_000_000 * (i + 1)),
+			Threads:          1 + i%8,
+			MLP:              1 + float64(i%4),
+			BytesPerMiss:     float64(16 * (1 + i%4)),
+			StoreVisibleFrac: 0.35,
+			OSTime:           sim.Duration(i * 1000),
+		}
+		c.Traffic[FastMem] = TierTraffic{LoadMisses: uint64(10_000 * i), StoreMisses: uint64(1_000 * i)}
+		c.Traffic[SlowMem] = TierTraffic{LoadMisses: uint64(5_000 * (16 - i)), StoreMisses: uint64(500 * i)}
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestBuilderByName(t *testing.T) {
+	m := newTestMachine(64, 64)
+	for name, want := range map[string]string{
+		"":         BackendAnalytic,
+		"analytic": BackendAnalytic,
+		"coarse":   BackendCoarse,
+	} {
+		b, err := BuilderByName(name)
+		if err != nil {
+			t.Fatalf("BuilderByName(%q): %v", name, err)
+		}
+		if got := b(m).Name(); got != want {
+			t.Errorf("BuilderByName(%q) builds %q, want %q", name, got, want)
+		}
+	}
+	if _, err := BuilderByName("bogus"); !errors.Is(err, ErrUnknownBackend) {
+		t.Errorf("BuilderByName(bogus) = %v, want ErrUnknownBackend", err)
+	}
+	if _, err := BuilderByName(BackendReplay); err == nil || !strings.Contains(err.Error(), "trace") {
+		t.Errorf("BuilderByName(replay) = %v, want a trace-requirement error", err)
+	}
+}
+
+func TestBackendInterfaceSatisfied(t *testing.T) {
+	m := newTestMachine(64, 64)
+	var _ Backend = NewAnalytic(m)
+	var _ Backend = NewCoarse(m)
+	var _ Backend = NewRecorder(NewAnalytic(m), &bytes.Buffer{})
+	if NewAnalytic(m).Machine() != m || NewCoarse(m).Machine() != m {
+		t.Fatal("backends must expose their machine")
+	}
+}
+
+// Coarse must agree with analytic exactly where its approximations are
+// vacuous: loads-only traffic (no store asymmetry in play) on the
+// default LLC (rescale ≡ 1).
+func TestCoarseMatchesAnalyticOnLoads(t *testing.T) {
+	m := newTestMachine(1024, 1024)
+	a, c := NewAnalytic(m), NewCoarse(m)
+	ch := EpochCharge{Instr: 1_000_000, Threads: 4, MLP: 2, BytesPerMiss: 64}
+	ch.Traffic[FastMem] = TierTraffic{LoadMisses: 100_000}
+	ch.Traffic[SlowMem] = TierTraffic{LoadMisses: 50_000}
+	ca, cc := a.Charge(ch), c.Charge(ch)
+	for t2 := Tier(0); t2 < NumTiers; t2++ {
+		ra, rc := float64(ca.MemTime[t2]), float64(cc.MemTime[t2])
+		if math.Abs(ra-rc) > 1e-6*ra {
+			t.Errorf("%v: coarse MemTime %v vs analytic %v", t2, rc, ra)
+		}
+		if ca.Misses[t2] != cc.Misses[t2] || ca.BytesOut[t2] != cc.BytesOut[t2] {
+			t.Errorf("%v: miss/byte accounting diverges", t2)
+		}
+	}
+	if ca.CPUTime != cc.CPUTime {
+		// Reciprocal-multiply vs divide may differ by an ulp; bound it.
+		if math.Abs(float64(ca.CPUTime-cc.CPUTime)) > 1 {
+			t.Errorf("CPU time: coarse %v vs analytic %v", cc.CPUTime, ca.CPUTime)
+		}
+	}
+	llc := DefaultLLC()
+	if a.EffectiveMPKI(llc, 10, 1<<30) != c.EffectiveMPKI(llc, 10, 1<<30) {
+		t.Error("coarse EffectiveMPKI must match analytic on the default LLC")
+	}
+}
+
+// Coarse stays directionally faithful on mixed traffic: ordering across
+// charges follows analytic even where absolute numbers shift.
+func TestCoarsePreservesOrdering(t *testing.T) {
+	m := newTestMachine(1024, 1024)
+	a, c := NewAnalytic(m), NewCoarse(m)
+	var at, ct []float64
+	for _, ch := range backendCharges() {
+		at = append(at, float64(a.Charge(ch).Total))
+		ct = append(ct, float64(c.Charge(ch).Total))
+	}
+	for i := 0; i < len(at); i++ {
+		for j := i + 1; j < len(at); j++ {
+			// Only compare decisively separated pairs: within 5% the
+			// approximation may legitimately flip a near-tie.
+			if at[i] > at[j]*1.05 && ct[i] <= ct[j] {
+				t.Errorf("ordering flip: analytic %d>%d but coarse %v<=%v", i, j, ct[i], ct[j])
+			}
+			if at[j] > at[i]*1.05 && ct[j] <= ct[i] {
+				t.Errorf("ordering flip: analytic %d>%d but coarse %v<=%v", j, i, ct[j], ct[i])
+			}
+		}
+	}
+}
+
+// A mid-run SetSpec (throttle-shift fault) must reprice immediately even
+// though coarse caches spec-derived coefficients.
+func TestCoarseSeesSpecShift(t *testing.T) {
+	m := newTestMachine(1024, 1024)
+	c := NewCoarse(m)
+	ch := EpochCharge{Instr: 1_000_000, Threads: 1, MLP: 1, BytesPerMiss: 64}
+	ch.Traffic[SlowMem] = TierTraffic{LoadMisses: 100_000}
+	before := c.Charge(ch)
+	m.SetSpec(SlowMem, Throttle{5, 12}.Spec())
+	after := c.Charge(ch)
+	if after.MemTime[SlowMem] <= before.MemTime[SlowMem] {
+		t.Fatalf("harsher throttle did not raise coarse cost: %v -> %v",
+			before.MemTime[SlowMem], after.MemTime[SlowMem])
+	}
+}
+
+func TestCoarseChargeZeroAlloc(t *testing.T) {
+	handle := obs.New()
+	m := newTestMachine(1024, 1024)
+	c := NewCoarse(m, WithObs(handle.Metrics))
+	ch := EpochCharge{Instr: 1 << 20, Threads: 4, MLP: 2, BytesPerMiss: 64}
+	ch.Traffic[FastMem] = TierTraffic{LoadMisses: 1000, StoreMisses: 100}
+	ch.Traffic[SlowMem] = TierTraffic{LoadMisses: 500, StoreMisses: 50}
+	fn := func() { c.Charge(ch) }
+	fn()
+	if n := testing.AllocsPerRun(100, fn); n != 0 {
+		t.Fatalf("Coarse.Charge allocates %v per op, want 0", n)
+	}
+}
+
+// The record → replay round-trip must reproduce every recorded cost
+// exactly: ints compare equal and floats survive the JSONL encoding
+// because Go emits the shortest representation that round-trips.
+func TestRecordReplayRoundTripExact(t *testing.T) {
+	m := newTestMachine(1024, 1024)
+	var buf bytes.Buffer
+	rec := NewRecorder(NewAnalytic(m), &buf)
+	if got, want := rec.Name(), "record(analytic)"; got != want {
+		t.Fatalf("recorder name %q, want %q", got, want)
+	}
+	charges := backendCharges()
+	var want []EpochCost
+	for _, ch := range charges {
+		want = append(want, rec.Charge(ch))
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Recorded() != uint64(len(charges)) {
+		t.Fatalf("recorded %d epochs, want %d", rec.Recorded(), len(charges))
+	}
+
+	tr, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := NewReplay(tr, m)
+	for i, ch := range charges {
+		if got := rp.Charge(ch); got != want[i] {
+			t.Fatalf("epoch %d: replay %+v != recorded %+v", i, got, want[i])
+		}
+	}
+	if rp.Diverged() != 0 || rp.Overrun() != 0 {
+		t.Fatalf("clean replay reported diverged=%d overrun=%d", rp.Diverged(), rp.Overrun())
+	}
+	if rp.Replayed() != len(charges) {
+		t.Fatalf("replayed %d, want %d", rp.Replayed(), len(charges))
+	}
+}
+
+// Replay degrades into the analytic model rather than returning wrong
+// costs: mismatched charges and post-trace charges both fall back.
+func TestReplayDivergenceFallsBack(t *testing.T) {
+	m := newTestMachine(1024, 1024)
+	var buf bytes.Buffer
+	rec := NewRecorder(NewAnalytic(m), &buf)
+	charges := backendCharges()
+	for _, ch := range charges {
+		rec.Charge(ch)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rp := NewReplay(tr, m)
+	a := NewAnalytic(m)
+	mutated := charges[0]
+	mutated.Instr += 7
+	if got, wantC := rp.Charge(mutated), a.Charge(mutated); got != wantC {
+		t.Fatalf("diverged epoch not priced analytically: %+v vs %+v", got, wantC)
+	}
+	if rp.Diverged() != 1 {
+		t.Fatalf("diverged = %d, want 1", rp.Diverged())
+	}
+	for _, ch := range charges[1:] {
+		rp.Charge(ch)
+	}
+	extra := charges[3]
+	if got, wantC := rp.Charge(extra), a.Charge(extra); got != wantC {
+		t.Fatalf("overrun epoch not priced analytically: %+v vs %+v", got, wantC)
+	}
+	if rp.Overrun() != 1 {
+		t.Fatalf("overrun = %d, want 1", rp.Overrun())
+	}
+}
+
+func TestLoadTraceRejectsGarbage(t *testing.T) {
+	if _, err := LoadTrace(strings.NewReader("not json\n")); !errors.Is(err, ErrTraceDecode) {
+		t.Fatalf("garbage trace: %v, want ErrTraceDecode", err)
+	}
+	if _, err := LoadTrace(strings.NewReader("")); !errors.Is(err, ErrTraceDecode) {
+		t.Fatalf("empty trace: %v, want ErrTraceDecode", err)
+	}
+	if _, err := LoadTraceFile("/nonexistent/trace.jsonl"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// Trace.Builder hands each built backend an independent cursor, so one
+// loaded trace can drive many jobs.
+func TestTraceBuilderIndependentCursors(t *testing.T) {
+	m := newTestMachine(1024, 1024)
+	var buf bytes.Buffer
+	rec := NewRecorder(NewAnalytic(m), &buf)
+	charges := backendCharges()
+	for _, ch := range charges {
+		rec.Charge(ch)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := tr.Builder()
+	b1 := build(m).(*Replay)
+	b2 := build(m).(*Replay)
+	b1.Charge(charges[0])
+	if b2.Replayed() != 0 {
+		t.Fatal("cursors are shared across built backends")
+	}
+	if b2.Charge(charges[0]) != b1.trace.Records[0].Cost {
+		t.Fatal("second backend did not replay from the start")
+	}
+}

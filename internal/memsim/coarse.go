@@ -1,0 +1,144 @@
+package memsim
+
+import "heteroos/internal/sim"
+
+// Coarse is the fast, low-fidelity backend for fleet-scale runs. It
+// keeps the analytic model's structure — CPU time from instruction
+// throughput, per-tier stall as latency plus bandwidth components,
+// tier costs additive — but batches the per-tier charging into one
+// multiply-only pass over precomputed coefficients and skips the LLC
+// miss-curve simulation entirely:
+//
+//   - Spec-derived math (latency, reciprocal bandwidth, instruction
+//     rates per thread count) is computed once per machine-spec
+//     generation, not per charge; Charge itself performs no divisions.
+//   - All misses are priced at the tier's load latency: the store
+//     visibility model (write-back absorption, NVM asymmetry doubling)
+//     is dropped, which undercosts store-heavy phases on asymmetric
+//     tiers by a bounded, mode-independent factor.
+//   - EffectiveMPKI returns the reference MPKI unchanged — the LLC
+//     power-law rescale (two math.Pow per epoch per VM, the single
+//     hottest pricing operation) is skipped. On the reference platform
+//     (the default LLC) the rescale is exactly 1, so this is free; on
+//     other cache sizes (figure2's emulator) coarse diverges.
+//
+// The approximations scale every mode's costs by the same workload-
+// dependent factors, so figure shapes — mode orderings, monotonicity
+// across capacity ratios — survive even though absolute numbers shift;
+// the differential tests in internal/exp pin exactly that contract.
+type Coarse struct {
+	machine *Machine
+	cpu     CPU
+	obs     *EngineObs
+
+	// Coefficients below are derived from the machine specs at gen;
+	// refresh() recomputes them when SetSpec bumped the generation
+	// (mid-run throttle shifts).
+	gen    uint64
+	missNs [NumTiers]float64 // latency charged per miss (load latency)
+	invBW  [NumTiers]float64 // ns per byte moved
+	// invIPS[t] is ns per instruction at t clamped threads (index 0
+	// doubles as the 1-thread floor so unclamped lookups stay in range).
+	invIPS []float64
+}
+
+// NewCoarse builds the coarse backend over m.
+func NewCoarse(m *Machine, opts ...Option) *Coarse {
+	o := applyOptions(opts)
+	b := &Coarse{machine: m, cpu: o.cpu, obs: o.engineObs()}
+	cores := b.cpu.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	b.invIPS = make([]float64, cores+1)
+	for t := 1; t <= cores; t++ {
+		if ips := b.cpu.FreqGHz * b.cpu.IPC * float64(t); ips > 0 {
+			b.invIPS[t] = 1 / ips
+		}
+	}
+	b.invIPS[0] = b.invIPS[1]
+	b.refresh()
+	return b
+}
+
+// Name identifies the coarse backend.
+func (b *Coarse) Name() string { return BackendCoarse }
+
+// Machine exposes the machine the backend prices against.
+func (b *Coarse) Machine() *Machine { return b.machine }
+
+// EffectiveMPKI skips the LLC simulation: the reference MPKI is used
+// as-is (exact on the reference LLC, approximate elsewhere).
+func (b *Coarse) EffectiveMPKI(_ LLC, mpki float64, _ int64) float64 { return mpki }
+
+// refresh recomputes the spec-derived coefficients.
+func (b *Coarse) refresh() {
+	for t := Tier(0); t < NumTiers; t++ {
+		spec := b.machine.Spec(t)
+		b.missNs[t] = spec.LoadLatencyNs
+		if spec.BandwidthGBs > 0 {
+			b.invBW[t] = 1 / spec.BandwidthGBs // GB/s == bytes/ns
+		} else {
+			b.invBW[t] = 0
+		}
+	}
+	b.gen = b.machine.SpecGen()
+}
+
+// Charge prices one epoch with the batched model: one fused pass over
+// both tiers, multiplications against the precomputed coefficients
+// only.
+func (b *Coarse) Charge(c EpochCharge) EpochCost {
+	if b.gen != b.machine.SpecGen() {
+		b.refresh()
+	}
+	var cost EpochCost
+
+	threads := c.Threads
+	if threads < 1 {
+		threads = 1
+	} else if threads >= len(b.invIPS) {
+		threads = len(b.invIPS) - 1
+	}
+	cost.CPUTime = sim.Duration(float64(c.Instr) * b.invIPS[threads])
+
+	mlp := c.MLP
+	if mlp < 1 {
+		mlp = 1
+	}
+	invWindow := 1 / (mlp * float64(threads))
+	bpm := c.BytesPerMiss
+	if bpm < MinBytesPerMiss {
+		bpm = MinBytesPerMiss
+	}
+
+	// The tier loop is unrolled: NumTiers is 2, and constant indices keep
+	// the fixed-size array accesses bounds-check free in this hot loop.
+	if total := c.Traffic[FastMem].Total(); total != 0 {
+		misses := float64(total)
+		latNs := misses * b.missNs[FastMem] * invWindow
+		bytes := misses * bpm
+		bwNs := bytes * b.invBW[FastMem]
+		cost.Misses[FastMem] = total
+		cost.BytesOut[FastMem] = uint64(bytes)
+		cost.MemTime[FastMem] = sim.Duration(latNs + bwNs)
+		cost.BWBound[FastMem] = bwNs > latNs
+	}
+	if total := c.Traffic[SlowMem].Total(); total != 0 {
+		misses := float64(total)
+		latNs := misses * b.missNs[SlowMem] * invWindow
+		bytes := misses * bpm
+		bwNs := bytes * b.invBW[SlowMem]
+		cost.Misses[SlowMem] = total
+		cost.BytesOut[SlowMem] = uint64(bytes)
+		cost.MemTime[SlowMem] = sim.Duration(latNs + bwNs)
+		cost.BWBound[SlowMem] = bwNs > latNs
+	}
+
+	cost.OSTime = c.OSTime
+	cost.Total = cost.CPUTime + cost.MemTime[FastMem] + cost.MemTime[SlowMem] + cost.OSTime
+	if b.obs != nil {
+		b.obs.observe(&cost)
+	}
+	return cost
+}

@@ -9,7 +9,10 @@
 // the identical (latency ×L, bandwidth ÷B) transform analytically.
 package memsim
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // PageSize is the architectural page size in bytes. The simulator uses
 // 4 KiB pages throughout, matching the paper's x86 testbed.
@@ -104,12 +107,25 @@ var DeviceCatalog = []DeviceSpec{
 	},
 }
 
-// DeviceByClass returns the catalog entry for class, or false if absent.
-func DeviceByClass(c DeviceClass) (DeviceSpec, bool) {
-	for _, d := range DeviceCatalog {
-		if d.Class == c {
-			return d, true
-		}
+// ErrUnknownDevice reports a device class absent from DeviceCatalog.
+var ErrUnknownDevice = errors.New("memsim: unknown device class")
+
+// deviceIndex maps class → catalog position, built once at init so
+// lookups don't rescan the catalog.
+var deviceIndex = func() map[DeviceClass]int {
+	idx := make(map[DeviceClass]int, len(DeviceCatalog))
+	for i, d := range DeviceCatalog {
+		idx[d.Class] = i
 	}
-	return DeviceSpec{}, false
+	return idx
+}()
+
+// DeviceByClass returns the catalog entry for class, or an error
+// wrapping ErrUnknownDevice if the catalog has no such row.
+func DeviceByClass(c DeviceClass) (DeviceSpec, error) {
+	i, ok := deviceIndex[c]
+	if !ok {
+		return DeviceSpec{}, fmt.Errorf("%w: %v", ErrUnknownDevice, c)
+	}
+	return DeviceCatalog[i], nil
 }

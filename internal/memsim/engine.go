@@ -119,19 +119,40 @@ func (eo *EngineObs) observe(cost *EpochCost) {
 	}
 }
 
-// Engine prices epochs against a machine's tier specs.
+// Engine is the analytic backend: it prices epochs against a machine's
+// tier specs with the paper's Table-3 model. It is the fidelity
+// reference — every figure the repo reproduces is defined by this
+// model's output — and the default Backend a System runs with.
 type Engine struct {
-	Machine *Machine
-	CPU     CPU
-	// Obs, when non-nil, receives per-charge accounting. It never
+	machine *Machine
+	cpu     CPU
+	// obs, when non-nil, receives per-charge accounting. It never
 	// changes pricing; Charge's arithmetic is identical with it on or
 	// off.
-	Obs *EngineObs
+	obs *EngineObs
 }
 
-// NewEngine builds an engine over m with the default CPU.
-func NewEngine(m *Machine) *Engine {
-	return &Engine{Machine: m, CPU: DefaultCPU()}
+// NewAnalytic builds the analytic Table-3 engine over m. The model
+// parameters are fixed at construction: WithCPU overrides the default
+// Xeon, WithObs attaches per-charge accounting.
+func NewAnalytic(m *Machine, opts ...Option) *Engine {
+	o := applyOptions(opts)
+	return &Engine{machine: m, cpu: o.cpu, obs: o.engineObs()}
+}
+
+// Name identifies the analytic backend.
+func (e *Engine) Name() string { return BackendAnalytic }
+
+// Machine exposes the machine the engine prices against.
+func (e *Engine) Machine() *Machine { return e.machine }
+
+// CPU reports the compute-side model.
+func (e *Engine) CPU() CPU { return e.cpu }
+
+// EffectiveMPKI applies the LLC power-law miss curve: the workload's
+// reference MPKI rescaled for the configured cache and working set.
+func (e *Engine) EffectiveMPKI(llc LLC, mpki float64, wssBytes int64) float64 {
+	return mpki * llc.MPKIScale(wssBytes)
 }
 
 // Charge prices one epoch. Per tier, the latency component is the miss
@@ -149,10 +170,10 @@ func (e *Engine) Charge(c EpochCharge) EpochCost {
 	if threads < 1 {
 		threads = 1
 	}
-	if threads > e.CPU.Cores {
-		threads = e.CPU.Cores
+	if threads > e.cpu.Cores {
+		threads = e.cpu.Cores
 	}
-	ips := e.CPU.FreqGHz * e.CPU.IPC * float64(threads) // instructions per ns
+	ips := e.cpu.FreqGHz * e.cpu.IPC * float64(threads) // instructions per ns
 	if ips > 0 {
 		cost.CPUTime = sim.Duration(float64(c.Instr) / ips)
 	}
@@ -178,7 +199,7 @@ func (e *Engine) Charge(c EpochCharge) EpochCost {
 		if tr.Total() == 0 {
 			continue
 		}
-		spec := e.Machine.Spec(t)
+		spec := e.machine.Spec(t)
 		// Write-back buffering absorbs most store latency on symmetric
 		// memory, but on asymmetric (NVM-class) tiers the device write
 		// path is the bottleneck and buffers drain too slowly to hide
@@ -202,8 +223,8 @@ func (e *Engine) Charge(c EpochCharge) EpochCost {
 
 	cost.OSTime = c.OSTime
 	cost.Total = cost.CPUTime + cost.MemTime[FastMem] + cost.MemTime[SlowMem] + cost.OSTime
-	if e.Obs != nil {
-		e.Obs.observe(&cost)
+	if e.obs != nil {
+		e.obs.observe(&cost)
 	}
 	return cost
 }

@@ -11,9 +11,9 @@ func TestDeviceCatalogTable1(t *testing.T) {
 	if len(DeviceCatalog) != 3 {
 		t.Fatalf("catalog has %d entries, want 3", len(DeviceCatalog))
 	}
-	nvm, ok := DeviceByClass(ClassNVM)
-	if !ok {
-		t.Fatal("NVM missing from catalog")
+	nvm, err := DeviceByClass(ClassNVM)
+	if err != nil {
+		t.Fatalf("NVM missing from catalog: %v", err)
 	}
 	if nvm.LoadLatencyNs() != 150 {
 		t.Fatalf("NVM load latency %v, want 150", nvm.LoadLatencyNs())
@@ -29,8 +29,8 @@ func TestDeviceCatalogTable1(t *testing.T) {
 	if !(stacked.LoadLatencyNs() < dram.LoadLatencyNs() && dram.LoadLatencyNs() < nvm.LoadLatencyNs()) {
 		t.Fatal("latency ordering violates Table 1")
 	}
-	if _, ok := DeviceByClass(DeviceClass(99)); ok {
-		t.Fatal("bogus class found in catalog")
+	if _, err := DeviceByClass(DeviceClass(99)); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("bogus class lookup = %v, want ErrUnknownDevice", err)
 	}
 }
 
@@ -282,7 +282,7 @@ func TestLLCMonotoneInWSS(t *testing.T) {
 
 func TestEngineChargeLatencyVsBandwidth(t *testing.T) {
 	m := newTestMachine(1024, 1024)
-	e := NewEngine(m)
+	e := NewAnalytic(m)
 
 	// Pointer chase: low MLP, line-sized traffic: latency bound.
 	chase := EpochCharge{
@@ -310,7 +310,7 @@ func TestEngineChargeLatencyVsBandwidth(t *testing.T) {
 
 func TestEngineFastVsSlow(t *testing.T) {
 	m := newTestMachine(1024, 1024)
-	e := NewEngine(m)
+	e := NewAnalytic(m)
 	ch := EpochCharge{Instr: 1_000_000, Threads: 4, MLP: 4, BytesPerMiss: 64, StoreVisibleFrac: 0.3}
 	ch.Traffic[FastMem] = TierTraffic{LoadMisses: 200_000}
 	fast := e.Charge(ch)
@@ -332,7 +332,7 @@ func TestEngineFastVsSlow(t *testing.T) {
 
 func TestEngineStoresCostMoreOnSlow(t *testing.T) {
 	m := newTestMachine(64, 64)
-	e := NewEngine(m)
+	e := NewAnalytic(m)
 	loads := EpochCharge{Instr: 1000, Threads: 1, MLP: 1, StoreVisibleFrac: 1}
 	loads.Traffic[SlowMem] = TierTraffic{LoadMisses: 10_000}
 	stores := EpochCharge{Instr: 1000, Threads: 1, MLP: 1, StoreVisibleFrac: 1}
@@ -346,7 +346,7 @@ func TestEngineStoresCostMoreOnSlow(t *testing.T) {
 
 func TestEngineDefensiveClamps(t *testing.T) {
 	m := newTestMachine(64, 64)
-	e := NewEngine(m)
+	e := NewAnalytic(m)
 	ch := EpochCharge{Instr: 1000, Threads: 0, MLP: 0, BytesPerMiss: 1, StoreVisibleFrac: 2}
 	ch.Traffic[FastMem] = TierTraffic{LoadMisses: 10, StoreMisses: 10}
 	c := e.Charge(ch)
@@ -360,8 +360,7 @@ func TestEngineDefensiveClamps(t *testing.T) {
 
 func TestEngineThreadsCappedAtCores(t *testing.T) {
 	m := newTestMachine(64, 64)
-	e := NewEngine(m)
-	e.CPU = CPU{FreqGHz: 1, IPC: 1, Cores: 4}
+	e := NewAnalytic(m, WithCPU(CPU{FreqGHz: 1, IPC: 1, Cores: 4}))
 	a := EpochCharge{Instr: 4_000_000, Threads: 4}
 	b := EpochCharge{Instr: 4_000_000, Threads: 400}
 	if e.Charge(a).CPUTime != e.Charge(b).CPUTime {
@@ -371,7 +370,7 @@ func TestEngineThreadsCappedAtCores(t *testing.T) {
 
 func TestEngineOSTimeAdds(t *testing.T) {
 	m := newTestMachine(64, 64)
-	e := NewEngine(m)
+	e := NewAnalytic(m)
 	ch := EpochCharge{Instr: 1000, Threads: 1, OSTime: 12345}
 	c := e.Charge(ch)
 	if c.Total != c.CPUTime+12345 {
@@ -383,7 +382,7 @@ func TestEngineAsymmetricStoreVisibility(t *testing.T) {
 	// On an NVM-class tier (store latency > load latency) write-back
 	// buffering breaks down: the visible store fraction doubles.
 	m := newTestMachine(64, 64)
-	e := NewEngine(m)
+	e := NewAnalytic(m)
 	symmetric := EpochCharge{Instr: 1000, Threads: 1, MLP: 1, StoreVisibleFrac: 0.35}
 	symmetric.Traffic[FastMem] = TierTraffic{StoreMisses: 1_000_000}
 	asymmetric := EpochCharge{Instr: 1000, Threads: 1, MLP: 1, StoreVisibleFrac: 0.35}

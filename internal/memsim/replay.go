@@ -1,0 +1,226 @@
+package memsim
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file implements trace-driven simulation in the Virtuoso
+// imitation style: an analytic run records every (charge, cost) pair
+// it prices, and a later run replays the recorded costs instead of
+// recomputing them. The trace format is JSONL — one TraceRecord per
+// line, in Charge order — chosen over a binary framing because the
+// records are small, diffable, and append-friendly, and because Go's
+// float64 JSON encoding (shortest representation that round-trips)
+// preserves every cost bit-exactly.
+
+// TraceRecord is one priced epoch: the charge the epoch loop issued
+// and the cost the recording backend returned for it.
+type TraceRecord struct {
+	Charge EpochCharge `json:"charge"`
+	Cost   EpochCost   `json:"cost"`
+}
+
+// Trace is a loaded epoch-cost stream, shareable across Systems: each
+// Replay built from it gets an independent cursor.
+type Trace struct {
+	Records []TraceRecord
+}
+
+// ErrTraceDecode reports a malformed trace stream.
+var ErrTraceDecode = errors.New("memsim: malformed trace")
+
+// LoadTrace decodes a JSONL trace stream.
+func LoadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	tr := &Trace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec TraceRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrTraceDecode, line, err)
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTraceDecode, err)
+	}
+	if len(tr.Records) == 0 {
+		return nil, fmt.Errorf("%w: empty trace", ErrTraceDecode)
+	}
+	return tr, nil
+}
+
+// LoadTraceFile loads a JSONL trace from disk.
+func LoadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("memsim: open trace: %w", err)
+	}
+	defer f.Close()
+	tr, err := LoadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// Builder returns a Builder producing Replay backends over this trace.
+// Each built backend replays from the start with its own cursor, so
+// one loaded trace can drive many single-System jobs.
+func (tr *Trace) Builder() Builder {
+	return func(m *Machine, opts ...Option) Backend {
+		return NewReplay(tr, m, opts...)
+	}
+}
+
+// Replay is the trace-replay backend: Charge returns the recorded cost
+// for the next epoch in the stream. If the live run issues more
+// charges than the trace holds, or a live charge's instruction count
+// disagrees with the recorded one, the backend falls back to an
+// embedded analytic engine for that epoch and counts the divergence —
+// replay should degrade into the reference model, not corrupt a run.
+type Replay struct {
+	trace    *Trace
+	fallback *Engine
+	obs      *EngineObs
+	cursor   int
+	diverged uint64
+	overrun  uint64
+}
+
+// NewReplay builds a replay backend over tr and m. The options
+// configure the embedded analytic fallback (and obs accounting, which
+// observes replayed costs just like computed ones).
+func NewReplay(tr *Trace, m *Machine, opts ...Option) *Replay {
+	o := applyOptions(opts)
+	return &Replay{
+		trace:    tr,
+		fallback: &Engine{machine: m, cpu: o.cpu},
+		obs:      o.engineObs(),
+	}
+}
+
+// Name identifies the replay backend.
+func (r *Replay) Name() string { return BackendReplay }
+
+// Machine exposes the machine the fallback engine prices against.
+func (r *Replay) Machine() *Machine { return r.fallback.Machine() }
+
+// EffectiveMPKI mirrors the analytic rescale so the layers above see
+// the same profile-to-traffic conversion the recording run used.
+func (r *Replay) EffectiveMPKI(llc LLC, mpki float64, wssBytes int64) float64 {
+	return r.fallback.EffectiveMPKI(llc, mpki, wssBytes)
+}
+
+// Charge returns the next recorded cost, falling back to the analytic
+// model past the end of the trace or on a mismatched charge.
+func (r *Replay) Charge(c EpochCharge) EpochCost {
+	var cost EpochCost
+	switch {
+	case r.cursor >= len(r.trace.Records):
+		r.overrun++
+		cost = r.fallback.Charge(c)
+	default:
+		rec := &r.trace.Records[r.cursor]
+		r.cursor++
+		if rec.Charge.Instr != c.Instr || rec.Charge.Traffic != c.Traffic {
+			r.diverged++
+			cost = r.fallback.Charge(c)
+		} else {
+			cost = rec.Cost
+		}
+	}
+	if r.obs != nil {
+		r.obs.observe(&cost)
+	}
+	return cost
+}
+
+// Replayed reports how many epochs were served from the trace.
+func (r *Replay) Replayed() int { return r.cursor }
+
+// Diverged reports live charges that mismatched their recorded epoch.
+func (r *Replay) Diverged() uint64 { return r.diverged }
+
+// Overrun reports live charges issued past the end of the trace.
+func (r *Replay) Overrun() uint64 { return r.overrun }
+
+// Recorder decorates a Backend, writing every (charge, cost) pair as a
+// JSONL TraceRecord. Write errors are sticky and surfaced via Err()
+// rather than failing Charge: recording must not perturb a run.
+type Recorder struct {
+	inner Backend
+	w     *bufio.Writer
+	enc   *json.Encoder
+	err   error
+	n     uint64
+}
+
+// NewRecorder wraps inner, streaming its trace to w.
+func NewRecorder(inner Backend, w io.Writer) *Recorder {
+	bw := bufio.NewWriter(w)
+	return &Recorder{inner: inner, w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Name decorates the inner backend's name, e.g. "record(analytic)".
+func (r *Recorder) Name() string { return "record(" + r.inner.Name() + ")" }
+
+// Machine exposes the inner backend's machine.
+func (r *Recorder) Machine() *Machine { return r.inner.Machine() }
+
+// EffectiveMPKI delegates to the inner backend.
+func (r *Recorder) EffectiveMPKI(llc LLC, mpki float64, wssBytes int64) float64 {
+	return r.inner.EffectiveMPKI(llc, mpki, wssBytes)
+}
+
+// Charge prices via the inner backend and records the pair.
+func (r *Recorder) Charge(c EpochCharge) EpochCost {
+	cost := r.inner.Charge(c)
+	if r.err == nil {
+		r.err = r.enc.Encode(TraceRecord{Charge: c, Cost: cost})
+		if r.err == nil {
+			r.n++
+		}
+	}
+	return cost
+}
+
+// Recorded reports how many epochs were written.
+func (r *Recorder) Recorded() uint64 { return r.n }
+
+// Flush drains the buffered trace to the underlying writer.
+func (r *Recorder) Flush() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}
+
+// Err reports the first write/encode error, if any.
+func (r *Recorder) Err() error { return r.err }
+
+// RecordingBuilder wraps a Builder so every backend it constructs is
+// recorded to the writer obtained from open (called once per built
+// backend — CLIs pass a per-job file opener). The opener also returns
+// a register hook the caller can use to flush/close at job end.
+func RecordingBuilder(inner Builder, open func() (io.Writer, func(*Recorder))) Builder {
+	return func(m *Machine, opts ...Option) Backend {
+		w, register := open()
+		rec := NewRecorder(inner(m, opts...), w)
+		if register != nil {
+			register(rec)
+		}
+		return rec
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"heteroos/internal/core"
+	"heteroos/internal/memsim"
 	"heteroos/internal/obs"
 )
 
@@ -81,6 +82,12 @@ type Options struct {
 	// exporters can tag each run's events and metrics with its
 	// identity. Jobs that arrive with Cfg.Obs set keep their handle.
 	NewObs func(label string, seed uint64) *obs.Obs
+	// NewBackend, when set, selects the machine-model backend for jobs
+	// whose Cfg.Backend is nil. Like NewObs it is called synchronously at
+	// submission, in submission order, so per-job backend state (e.g. a
+	// trace recorder's output file) can be derived deterministically from
+	// the label and seed. Jobs that arrive with Cfg.Backend set keep it.
+	NewBackend func(label string, seed uint64) memsim.Builder
 }
 
 func (o Options) workers() int {
@@ -185,6 +192,9 @@ func (p *Pool) Submit(label string, cfg core.Config) *Future {
 		if cfg.Obs != nil && cfg.Obs.RunTag() == "" {
 			cfg.Obs.SetRunTag(label)
 		}
+	}
+	if p.opts.NewBackend != nil && cfg.Backend == nil {
+		cfg.Backend = p.opts.NewBackend(label, cfg.Seed)
 	}
 	p.start(f, func(ctx context.Context) (*core.VMResult, *core.System, error) {
 		return execute(ctx, cfg)

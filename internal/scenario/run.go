@@ -279,6 +279,17 @@ func (sc *Scenario) Run(ctx context.Context, h *obs.Obs) (*Result, error) {
 	if sc.SlowThrottle != nil {
 		cfg.SlowSpec = sc.SlowThrottle.Spec()
 	}
+	if sc.BackendBuilder != nil {
+		cfg.Backend = sc.BackendBuilder
+	} else if sc.Backend != "" {
+		// Validate already vetted the name; resolve it here so the
+		// system prices epochs through the selected model.
+		build, err := memsim.BuilderByName(sc.Backend)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		cfg.Backend = build
+	}
 	for i := range sc.VMs {
 		v := &sc.VMs[i]
 		vc, err := st.vmConfig(v)

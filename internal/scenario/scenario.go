@@ -99,6 +99,15 @@ type Scenario struct {
 	SlowThrottle *memsim.Throttle `json:"slow_throttle,omitempty"`
 	// Share names the VMM share policy: "static", "max-min", or "drf".
 	Share string `json:"share,omitempty"`
+	// Backend names the machine-model backend ("analytic", "coarse");
+	// empty means analytic. "replay" cannot be named from JSON — it
+	// needs a loaded trace, so it is only reachable through
+	// BackendBuilder.
+	Backend string `json:"backend,omitempty"`
+	// BackendBuilder, when set, overrides Backend with a programmatic
+	// builder (e.g. memsim.Trace.Builder for replay, or a recording
+	// decorator). Not serialisable; scripted scenarios use Backend.
+	BackendBuilder memsim.Builder `json:"-"`
 	// MaxEpochs bounds the run.
 	MaxEpochs int `json:"max_epochs,omitempty"`
 	// SampleEvery is the timeline sampling cadence in epochs; event
@@ -125,6 +134,19 @@ func (sc *Scenario) WithMachine(fastFrames, slowFrames uint64) *Scenario {
 // WithShare selects the VMM share policy ("static", "max-min", "drf").
 func (sc *Scenario) WithShare(share string) *Scenario {
 	sc.Share = share
+	return sc
+}
+
+// WithBackend names the machine-model backend ("analytic", "coarse").
+func (sc *Scenario) WithBackend(name string) *Scenario {
+	sc.Backend = name
+	return sc
+}
+
+// WithBackendBuilder sets a programmatic backend builder, overriding
+// any Backend name (the replay path: load a trace, pass its Builder).
+func (sc *Scenario) WithBackendBuilder(b memsim.Builder) *Scenario {
+	sc.BackendBuilder = b
 	return sc
 }
 
@@ -237,6 +259,11 @@ func (sc *Scenario) Validate() error {
 	case "static", "max-min", "drf":
 	default:
 		return fmt.Errorf("scenario %q: unknown share policy %q", sc.Name, sc.Share)
+	}
+	if sc.BackendBuilder == nil {
+		if _, err := memsim.BuilderByName(sc.Backend); err != nil {
+			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
 	}
 	if len(sc.VMs) == 0 {
 		return fmt.Errorf("scenario %q: needs at least one epoch-0 VM", sc.Name)
