@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build test vet race check obs-parity scenario-smoke backend-parity bench bench-all bench-json figures
+.PHONY: all build test vet race check obs-parity scenario-smoke backend-parity \
+	snapshot-parity fuzz-smoke bench bench-all bench-json bench-guard figures
 
 all: check
 
@@ -56,6 +57,51 @@ scenario-smoke:
 		echo "scenario-smoke: $$sc deterministic"; \
 	done
 
+# snapshot-parity is the checkpoint/restore gold standard, exercised
+# end-to-end through the CLI for both bundled scenarios on both the
+# analytic and coarse backends: (1) writing checkpoints must not
+# perturb the run (stdout with -checkpoint-every == stdout without);
+# (2) a run restored from a mid-scenario snapshot must finish
+# byte-identically (stdout == the uninterrupted run, and the restored
+# event log == the tail of the full run's event log). The restore takes
+# no backend flag — the snapshot pins the backend it was taken under.
+snapshot-parity:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/heterosim" ./cmd/heterosim || exit 1; \
+	for sc in churn.json degrade.json; do \
+	for be in analytic coarse; do \
+		"$$tmp/heterosim" -scenario $$sc -backend $$be -format=csv \
+			-events "$$tmp/full.jsonl" > "$$tmp/plain.csv" || exit 1; \
+		"$$tmp/heterosim" -scenario $$sc -backend $$be -format=csv \
+			-checkpoint-every 13 -checkpoint-path "$$tmp/ck.snap" > "$$tmp/ck.csv" || exit 1; \
+		if ! cmp -s "$$tmp/plain.csv" "$$tmp/ck.csv"; then \
+			echo "snapshot-parity: $$sc/$$be output perturbed by checkpointing:"; \
+			diff "$$tmp/plain.csv" "$$tmp/ck.csv"; exit 1; \
+		fi; \
+		"$$tmp/heterosim" -restore "$$tmp/ck.snap" -format=csv -events "$$tmp/rest.jsonl" \
+			> "$$tmp/rest.csv" || exit 1; \
+		if ! cmp -s "$$tmp/plain.csv" "$$tmp/rest.csv"; then \
+			echo "snapshot-parity: $$sc/$$be restored run diverged:"; \
+			diff "$$tmp/plain.csv" "$$tmp/rest.csv"; exit 1; \
+		fi; \
+		tail -n +2 "$$tmp/rest.jsonl" > "$$tmp/rest.tail"; \
+		n=$$(wc -l < "$$tmp/rest.tail"); \
+		test "$$n" -gt 0 || { echo "snapshot-parity: $$sc/$$be restore replayed no events (checkpoint at end of run?)"; exit 1; }; \
+		tail -n "$$n" "$$tmp/full.jsonl" > "$$tmp/full.tail"; \
+		if ! cmp -s "$$tmp/full.tail" "$$tmp/rest.tail"; then \
+			echo "snapshot-parity: $$sc/$$be restored event log diverged:"; \
+			diff "$$tmp/full.tail" "$$tmp/rest.tail"; exit 1; \
+		fi; \
+		rm -f "$$tmp"/ck.snap "$$tmp"/*.jsonl "$$tmp"/*.tail; \
+		echo "snapshot-parity: $$sc/$$be restore byte-identical ($$n event lines)"; \
+	done; done
+
+# fuzz-smoke drives the fixed seed band through the scenario generator
+# under the strict invariant harness (~5s). A failing seed shrinks
+# itself and lands in internal/scenario/testdata/fuzz/repros/.
+fuzz-smoke:
+	$(GO) test -run 'TestFuzzSmoke|TestCommittedRepro' -count=1 ./internal/scenario
+
 # backend-parity pins the default machine-model backend to the seed:
 # the analytic backend (explicitly selected, exercising the -backend
 # flag path) must reproduce the committed figure CSVs byte-for-byte.
@@ -79,9 +125,11 @@ backend-parity:
 
 # check is the pre-commit gate: static analysis, full build, the full
 # test suite, the race detector over the concurrent packages, the
-# observability no-perturbation check, the scenario smoke run, and the
-# machine-model backend parity gate.
-check: vet build test race obs-parity scenario-smoke backend-parity
+# observability no-perturbation check, the scenario smoke run, the
+# machine-model backend parity gate, the checkpoint/restore parity
+# gate, and the fuzz seed-band smoke run.
+check: vet build test race obs-parity scenario-smoke backend-parity \
+	snapshot-parity fuzz-smoke
 
 # bench runs the ranking and figure9-sweep benchmarks at benchstat-grade
 # repetition: save the output before and after a change and compare the
@@ -106,6 +154,15 @@ bench-json:
 		-speedup EpochPricingCoarse=EpochPricingAnalytic \
 		< "$$tmp" > BENCH_coarse.json || exit 1; \
 	echo "bench-json: wrote BENCH_analytic.json BENCH_coarse.json"
+
+# bench-guard re-runs the epoch-pricing benchmarks and fails if the
+# coarse-over-analytic speedup regressed more than 5% below the
+# committed BENCH_coarse.json factor. The ratio (not raw ns/op) is
+# guarded, so the check is stable across machines. Not part of check:
+# benchmarks are too noisy for an always-on gate.
+bench-guard:
+	@$(GO) test -run=NONE -bench='EpochPricing' -benchmem -count=3 . \
+		| $(GO) run ./cmd/benchjson -guard BENCH_coarse.json -tolerance 0.05
 
 # bench-all smoke-runs every benchmark once (artifact regeneration
 # included), trading statistical weight for coverage.

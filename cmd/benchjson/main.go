@@ -13,6 +13,17 @@
 // baseline-to-name throughput factor (both names must appear in the
 // input, pre -match filtering, so a coarse baseline can reference the
 // analytic benchmark from the same run).
+//
+// Guard mode compares fresh bench output against a committed baseline
+// instead of emitting JSON:
+//
+//	go test -run=NONE -bench='EpochPricing' -count=3 . \
+//	    | benchjson -guard BENCH_coarse.json -tolerance 0.05
+//
+// It recomputes the baseline's recorded speedup pair from the fresh
+// input and fails (exit 1) if the fresh factor regressed more than
+// -tolerance below the committed one. The speedup ratio — not raw
+// ns/op — is guarded because it cancels out machine speed.
 package main
 
 import (
@@ -63,6 +74,8 @@ func main() {
 	label := flag.String("label", "", "baseline label (e.g. the backend name)")
 	match := flag.String("match", "", "regexp keeping only matching benchmark names")
 	speedupF := flag.String("speedup", "", "NAME=BASELINE: record baseline/name mean-ns ratio")
+	guardF := flag.String("guard", "", "committed baseline JSON: check the fresh input's speedup against it instead of emitting JSON")
+	tolF := flag.Float64("tolerance", 0.05, "allowed fractional speedup regression in -guard mode")
 	flag.Parse()
 
 	keep := regexp.MustCompile(*match)
@@ -119,6 +132,11 @@ func main() {
 			out.Benchmarks = append(out.Benchmarks, *b)
 		}
 	}
+	if *guardF != "" {
+		guard(*guardF, *tolF, means)
+		return
+	}
+
 	if len(out.Benchmarks) == 0 {
 		die("no benchmarks matched %q", *match)
 	}
@@ -140,6 +158,36 @@ func main() {
 	if err := enc.Encode(out); err != nil {
 		die("encode: %v", err)
 	}
+}
+
+// guard loads a committed baseline and re-derives its recorded speedup
+// pair from the fresh means. Only the ratio is compared — raw ns/op
+// varies with the machine running the check, but coarse-vs-analytic
+// from one run does not.
+func guard(path string, tol float64, means map[string]float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		die("guard: %v", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		die("guard: parse %s: %v", path, err)
+	}
+	if base.Speedup == nil {
+		die("guard: %s records no speedup to check against", path)
+	}
+	nm, bm := means[base.Speedup.Benchmark], means[base.Speedup.Baseline]
+	if nm == 0 || bm == 0 {
+		die("guard: fresh input is missing %q or %q", base.Speedup.Benchmark, base.Speedup.Baseline)
+	}
+	fresh := bm / nm
+	floor := base.Speedup.Factor * (1 - tol)
+	if fresh < floor {
+		die("guard: %s speedup regressed: fresh %.2fx < floor %.2fx (committed %.2fx, tolerance %.0f%%)",
+			base.Speedup.Benchmark, fresh, floor, base.Speedup.Factor, tol*100)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: guard ok: %s speedup %.2fx (committed %.2fx, floor %.2fx)\n",
+		base.Speedup.Benchmark, fresh, base.Speedup.Factor, floor)
 }
 
 func mustInt(s string) int64 {

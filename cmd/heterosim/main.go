@@ -17,6 +17,16 @@
 //	heterosim -scenario degrade.json -events=out.jsonl
 //	heterosim -scenarios                # list bundled scenarios
 //
+// Checkpoint/restore (see DESIGN.md §5g): periodic checkpoints write
+// the full system + engine state; -restore resumes one and produces
+// output byte-identical to the uninterrupted run's remainder:
+//
+//	heterosim -scenario churn.json -checkpoint-every 16 -checkpoint-path churn.hosnap
+//	heterosim -restore churn.hosnap
+//
+// Exit codes: 0 success, 2 usage or unloadable input, 3 runtime
+// failure, 130 interrupted.
+//
 // Observability:
 //
 //	heterosim -events=out.jsonl         # structured event stream (JSONL)
@@ -45,6 +55,7 @@ import (
 	"heteroos/internal/obs"
 	"heteroos/internal/policy"
 	"heteroos/internal/scenario"
+	"heteroos/internal/snapshot"
 	"heteroos/internal/workload"
 
 	"heteroos/internal/metrics"
@@ -67,6 +78,9 @@ func main() {
 		backendF  = flag.String("backend", "analytic", "machine-model backend: analytic, coarse, or replay (needs -replay-trace)")
 		recordF   = flag.String("record-trace", "", "record the per-epoch (charge, cost) stream as JSONL to this file")
 		replayF   = flag.String("replay-trace", "", "replay a recorded JSONL epoch stream (selects the replay backend)")
+		ckEvery   = flag.Int("checkpoint-every", 0, "write a scenario checkpoint after every N epochs (needs -scenario or -restore)")
+		ckPath    = flag.String("checkpoint-path", "", "checkpoint destination file for -checkpoint-every")
+		restoreF  = flag.String("restore", "", "resume a scenario checkpoint file and run it to completion")
 	)
 	flag.Parse()
 
@@ -89,10 +103,45 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *restoreF != "" && *scenarioF != "" {
+		fmt.Fprintln(os.Stderr, "heterosim: -restore and -scenario are mutually exclusive")
+		os.Exit(2)
+	}
+	if *ckEvery < 0 {
+		fmt.Fprintln(os.Stderr, "heterosim: -checkpoint-every must be >= 0")
+		os.Exit(2)
+	}
+	if *ckEvery > 0 && *scenarioF == "" && *restoreF == "" {
+		fmt.Fprintln(os.Stderr, "heterosim: -checkpoint-every needs -scenario or -restore")
+		os.Exit(2)
+	}
+	if *ckEvery > 0 && *ckPath == "" {
+		fmt.Fprintln(os.Stderr, "heterosim: -checkpoint-every needs -checkpoint-path")
+		os.Exit(2)
+	}
+	ck := scenario.CheckpointOptions{Every: *ckEvery, Path: *ckPath}
+
 	build, closeBackend, err := buildBackend(*backendF, *recordF, *replayF)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "heterosim:", err)
 		os.Exit(2)
+	}
+
+	if *restoreF != "" {
+		backendOverride := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "backend" || f.Name == "record-trace" || f.Name == "replay-trace" {
+				backendOverride = true
+			}
+		})
+		if backendOverride {
+			// A checkpoint pins the backend it was taken under; restoring
+			// it under a different model could not be byte-identical.
+			fmt.Fprintln(os.Stderr, "heterosim: -restore uses the checkpoint's own backend; backend flags conflict")
+			os.Exit(2)
+		}
+		runRestore(*restoreF, ck, closeBackend, *format, *events, *chrome, *metricsF)
+		return
 	}
 
 	if *scenarioF != "" {
@@ -100,19 +149,31 @@ func main() {
 		// likewise the backend flags override the scenario's own backend
 		// field only when one of them was actually passed.
 		var seedOverride *uint64
-		backendOverride := false
+		backendOverride, traceOverride := false, false
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "seed":
 				seedOverride = seed
-			case "backend", "record-trace", "replay-trace":
+			case "backend":
 				backendOverride = true
+			case "record-trace", "replay-trace":
+				traceOverride = true
 			}
 		})
-		if !backendOverride {
+		// A plain -backend override is applied by NAME, not builder: the
+		// name rides along inside any checkpoint's embedded scenario, so
+		// a resumed run re-builds the same backend (a builder function
+		// cannot be serialized). Trace wrappers keep the builder —
+		// recorder checkpoints are refused by core, and a replay
+		// checkpoint fails the restore-time backend identity check.
+		backendName := ""
+		if !traceOverride {
 			build = nil
+			if backendOverride {
+				backendName = *backendF
+			}
 		}
-		runScenario(*scenarioF, seedOverride, build, closeBackend, *format, *events, *chrome, *metricsF)
+		runScenario(*scenarioF, seedOverride, backendName, build, closeBackend, ck, *format, *events, *chrome, *metricsF)
 		return
 	}
 
@@ -160,7 +221,7 @@ func main() {
 			os.Exit(130)
 		}
 		fmt.Fprintln(os.Stderr, "heterosim:", err)
-		os.Exit(1)
+		os.Exit(3)
 	}
 
 	prof := w.Profile()
@@ -201,7 +262,7 @@ func main() {
 // runScenario executes a scripted multi-VM scenario and prints its
 // per-VM outcomes and sampled timeline. A non-nil build overrides the
 // scenario's own backend field (CLI flags win over the JSON).
-func runScenario(path string, seedOverride *uint64, build memsim.Builder, closeBackend func() error, format, events, chrome, metricsF string) {
+func runScenario(path string, seedOverride *uint64, backendName string, build memsim.Builder, closeBackend func() error, ck scenario.CheckpointOptions, format, events, chrome, metricsF string) {
 	sc, err := scenario.LoadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "heterosim:", err)
@@ -210,15 +271,51 @@ func runScenario(path string, seedOverride *uint64, build memsim.Builder, closeB
 	if seedOverride != nil {
 		sc.Seed = *seedOverride
 	}
+	if backendName != "" {
+		sc.WithBackend(backendName)
+	}
 	if build != nil {
 		sc.WithBackendBuilder(build)
 	}
 	runTag := fmt.Sprintf("scenario/%s seed=%d", sc.Name, sc.Seed)
+	executeScenario(runTag, func(ctx context.Context, h *obs.Obs) (*scenario.Result, error) {
+		return sc.RunWithCheckpoints(ctx, h, ck)
+	}, closeBackend, format, events, chrome, metricsF)
+}
+
+// runRestore resumes a scenario checkpoint and runs it to completion;
+// its output is byte-identical to what the uninterrupted run would
+// have printed (and, with -events, its event stream is exactly the
+// uninterrupted run's tail).
+func runRestore(path string, ck scenario.CheckpointOptions, closeBackend func() error, format, events, chrome, metricsF string) {
+	// Open and verify the snapshot up front so an unreadable or corrupt
+	// checkpoint reports as bad input (exit 2), exactly like an
+	// unloadable -scenario file; only the resumed run itself can exit 3.
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heterosim:", err)
+		os.Exit(2)
+	}
+	rd, err := snapshot.Open(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "heterosim: restore %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	runTag := "restore/" + path
+	executeScenario(runTag, func(ctx context.Context, h *obs.Obs) (*scenario.Result, error) {
+		return scenario.Resume(ctx, rd, h, ck)
+	}, closeBackend, format, events, chrome, metricsF)
+}
+
+// executeScenario drives one scenario run (fresh or resumed) under
+// signal handling and prints the shared result rendering.
+func executeScenario(runTag string, run func(context.Context, *obs.Obs) (*scenario.Result, error), closeBackend func() error, format, events, chrome, metricsF string) {
 	handle, closeObs := newObsHandle(runTag, events, chrome, metricsF)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	r, err := sc.Run(ctx, handle)
+	r, err := run(ctx, handle)
 	if err != nil {
 		closeObs()
 		if errors.Is(err, context.Canceled) {
@@ -226,7 +323,7 @@ func runScenario(path string, seedOverride *uint64, build memsim.Builder, closeB
 			os.Exit(130)
 		}
 		fmt.Fprintln(os.Stderr, "heterosim:", err)
-		os.Exit(1)
+		os.Exit(3)
 	}
 
 	fmt.Printf("scenario %s: %d VMs over %d epochs, seed %d, %s\n",
@@ -301,7 +398,7 @@ func buildBackend(name, record, replay string) (memsim.Builder, func() error, er
 func closeBackendOrDie(closeBackend func() error) {
 	if err := closeBackend(); err != nil {
 		fmt.Fprintln(os.Stderr, "heterosim: record-trace:", err)
-		os.Exit(1)
+		os.Exit(3)
 	}
 }
 

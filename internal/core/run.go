@@ -93,8 +93,21 @@ func (s *System) RunContext(ctx context.Context) error {
 // Run is RunContext with a background (never-cancelled) context.
 func (s *System) Run() error { return s.RunContext(context.Background()) }
 
-// stepVM advances one VM by one epoch.
-func (s *System) stepVM(inst *VMInstance) error {
+// stepVM advances one VM by one epoch. A guest kernel panic — the
+// guest exhausting memory it cannot run without — is contained here:
+// the step fails with an error attributed to the VM instead of
+// crashing the whole simulation. Any other panic is a simulator bug
+// and propagates.
+func (s *System) stepVM(inst *VMInstance) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			gp, ok := r.(*guestos.GuestPanic)
+			if !ok {
+				panic(r)
+			}
+			err = gp
+		}
+	}()
 	prof := inst.W.Profile()
 
 	// 1. Application work against the guest OS.

@@ -1,0 +1,62 @@
+package buddy
+
+import (
+	"fmt"
+	"sort"
+
+	"heteroos/internal/snapshot"
+)
+
+// Snapshot serializes the allocator's mutable state: the free-block
+// map (sorted by base for determinism) and the split/coalesce
+// counters. The per-order heaps are not serialized — they are a lazy
+// view of freeOrder (stale entries are skipped on pop), and pop order
+// depends only on block addresses, so rebuilding them from the sorted
+// map reproduces allocation behaviour exactly.
+func (a *Allocator) Snapshot(e *snapshot.Encoder) {
+	e.U64(a.base)
+	e.U64(a.size)
+	e.U64(a.freePages)
+	e.U64(a.splitCount)
+	e.U64(a.coalesceCount)
+	bases := make([]uint64, 0, len(a.freeOrder))
+	for pfn := range a.freeOrder {
+		bases = append(bases, pfn)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	e.U32(uint32(len(bases)))
+	for _, pfn := range bases {
+		e.U64(pfn)
+		e.U8(uint8(a.freeOrder[pfn]))
+	}
+}
+
+// Restore overwrites the allocator's mutable state from a snapshot.
+// The span must match the one the snapshot was taken from. Heaps are
+// rebuilt per order from ascending bases: a sorted slice is already a
+// valid min-heap, and dropping the live allocator's stale entries
+// changes no observable behaviour.
+func (a *Allocator) Restore(d *snapshot.Decoder) error {
+	base, size := d.U64(), d.U64()
+	if base != a.base || size != a.size {
+		return fmt.Errorf("buddy: snapshot span [%d,+%d) != allocator span [%d,+%d)", base, size, a.base, a.size)
+	}
+	a.freePages = d.U64()
+	a.splitCount = d.U64()
+	a.coalesceCount = d.U64()
+	n := int(d.U32())
+	a.freeOrder = make(map[uint64]int, n)
+	for o := range a.heaps {
+		a.heaps[o] = a.heaps[o][:0]
+	}
+	for i := 0; i < n; i++ {
+		pfn := d.U64()
+		order := int(d.U8())
+		if order < 0 || order > MaxOrder {
+			return fmt.Errorf("buddy: snapshot block %d has invalid order %d", pfn, order)
+		}
+		a.freeOrder[pfn] = order
+		a.heaps[order] = append(a.heaps[order], pfn)
+	}
+	return d.Err()
+}

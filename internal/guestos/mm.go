@@ -332,6 +332,11 @@ func (a *AddrSpace) ResidentPages() uint64 {
 // CheckInvariants verifies VMA ordering and non-overlap, and that every
 // resident count matches the page table.
 func (a *AddrSpace) CheckInvariants() error {
+	// Verification must not perturb state: the resident sweep below
+	// walks the page table, which would inflate the walkSteps
+	// diagnostic counter and break checkpoint byte-parity across
+	// CheckInvariants calls.
+	defer func(saved uint64) { a.walkSteps = saved }(a.walkSteps)
 	areas := a.VMAs()
 	sorted := make([]*VMA, len(areas))
 	copy(sorted, areas)

@@ -700,6 +700,18 @@ func (o *OS) fileUnmapped(pfn PFN) {
 	o.store.Page(pfn).VPN = NilVPN
 }
 
+// GuestPanic is the guest kernel's unrecoverable resource-exhaustion
+// signal, raised (as a panic) when the kernel cannot allocate memory
+// it cannot operate without — today, page-table pages. Unlike the
+// package's other panics, which assert simulator programming errors,
+// a GuestPanic is reachable from a legitimate configuration (a guest
+// too small for its workload); the host contains it at the VM-step
+// boundary, so the VM dies with an error while the process and the
+// other guests keep running — a kernel panic confined to its VM.
+type GuestPanic struct{ Reason string }
+
+func (p *GuestPanic) Error() string { return "guestos: kernel panic: " + p.Reason }
+
 // allocPTPage allocates a page-table page. Page tables are exception-
 // listed from migration; the paper found their placement has negligible
 // (<0.5%) impact, so they follow the same preference as other kernel
@@ -707,7 +719,7 @@ func (o *OS) fileUnmapped(pfn PFN) {
 func (o *OS) allocPTPage() PFN {
 	pfn, ok := o.allocPage(KindPageTable, 0)
 	if !ok {
-		panic("guestos: out of memory allocating page table")
+		panic(&GuestPanic{Reason: "out of memory allocating page table"})
 	}
 	return pfn
 }

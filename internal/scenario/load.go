@@ -2,7 +2,9 @@ package scenario
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path"
 	"sort"
@@ -54,11 +56,14 @@ func LoadBundled(name string) (*Scenario, error) {
 
 // LoadFile loads a scenario from disk; when the path does not exist and
 // its base name matches a bundled scenario, the bundled one is used, so
-// the shipped scenarios work without checked-out sources.
+// the shipped scenarios work without checked-out sources. The fallback
+// triggers only on fs.ErrNotExist — any other read failure (permission
+// denied, path is a directory, I/O error) is reported as-is rather than
+// silently masked by a bundled scenario of the same name.
 func LoadFile(p string) (*Scenario, error) {
 	data, err := os.ReadFile(p)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			if sc, berr := LoadBundled(path.Base(p)); berr == nil {
 				return sc, nil
 			}

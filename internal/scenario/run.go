@@ -14,6 +14,7 @@ import (
 	"heteroos/internal/policy"
 	"heteroos/internal/runner"
 	"heteroos/internal/sim"
+	"heteroos/internal/snapshot"
 	"heteroos/internal/vmm"
 	"heteroos/internal/workload"
 )
@@ -51,6 +52,36 @@ func (w *surgeWorkload) Step(os *guestos.OS) (uint64, bool) {
 		w.done = true
 	}
 	return instr, done
+}
+
+// SnapshotState implements workload.Snapshotter: the surge window state
+// plus the wrapped workload's own progress. Core refuses to checkpoint
+// a workload that cannot be restored, so the inner-snapshotter presence
+// bit lets that refusal surface as a decode error instead of silence.
+func (w *surgeWorkload) SnapshotState(e *snapshot.Encoder) {
+	e.Bool(w.active)
+	e.Int(w.factor)
+	e.Bool(w.done)
+	ws, ok := w.inner.(workload.Snapshotter)
+	e.Bool(ok)
+	if ok {
+		ws.SnapshotState(e)
+	}
+}
+
+// RestoreState implements workload.Snapshotter.
+func (w *surgeWorkload) RestoreState(d *snapshot.Decoder, os *guestos.OS) error {
+	w.active = d.Bool()
+	w.factor = d.Int()
+	w.done = d.Bool()
+	if !d.Bool() {
+		return fmt.Errorf("scenario: checkpointed workload %T did not support snapshotting", w.inner)
+	}
+	ws, ok := w.inner.(workload.Snapshotter)
+	if !ok {
+		return fmt.Errorf("scenario: workload %T cannot restore checkpointed state", w.inner)
+	}
+	return ws.RestoreState(d, os)
 }
 
 // action is one expanded script step: events with a Duration unfold
@@ -114,7 +145,7 @@ type Result struct {
 	Sys *core.System `json:"-"`
 }
 
-// runState carries the per-run bookkeeping of one Run call.
+// runState carries the per-run bookkeeping of one Run or Resume call.
 type runState struct {
 	sc    *Scenario
 	sys   *core.System
@@ -125,6 +156,31 @@ type runState struct {
 	prevMove   uint64
 	prevBallIn uint64
 	prevRefuse uint64
+	// lastSampled is the last epoch a timeline sample was taken at (-1
+	// before the first).
+	lastSampled int
+	// consumed counts expanded script actions applied so far, so a
+	// checkpoint records exactly where a resumed run must re-enter the
+	// script.
+	consumed int
+	// ck configures periodic checkpointing (zero value: none).
+	ck CheckpointOptions
+	// probe, when set, runs after every applied script action (stage
+	// "event") and after every lockstep step (stage "epoch"); a non-nil
+	// return aborts the run with that error. The fuzzing harness uses it
+	// to check invariants continuously and to inject scripted defects.
+	probe func(sys *core.System, stage string, epoch int) error
+}
+
+// CheckpointOptions configures periodic checkpointing of a scenario
+// run, independent of any checkpoint events in the script itself.
+type CheckpointOptions struct {
+	// Every writes a checkpoint after each N-th lockstep epoch (0
+	// disables periodic checkpoints).
+	Every int
+	// Path is the periodic checkpoint destination; each write replaces
+	// the previous one, so the file always holds the latest checkpoint.
+	Path string
 }
 
 // vmConfig materialises a VMDesc: mode and workload resolved from the
@@ -196,6 +252,12 @@ func (st *runState) apply(a action, epoch int) error {
 		}
 		if r := st.runByID(vmm.VMID(e.VM)); r != nil {
 			r.ShutdownEpoch = epoch
+			// Resolve Completed now: a resumed run rebuilds only live
+			// VMs' workload wraps, so a departed VM's completion must
+			// already be on record.
+			if sw, ok := st.wraps[vmm.VMID(e.VM)]; ok {
+				r.Completed = sw.done
+			}
 		}
 	case KindThrottleShift:
 		st.sys.SetTierSpec(memsim.SlowMem, e.Throttle.Spec())
@@ -255,19 +317,9 @@ func (st *runState) sample(epoch int) {
 	st.timeline = append(st.timeline, s)
 }
 
-// Run executes the scenario. h, when non-nil, attaches observability:
-// lifecycle and fault events, every layer's chokepoint events, and the
-// metrics registry all report into it (the caller owns and closes it).
-// The returned result holds per-VM outcomes in boot order, the sampled
-// timeline, and the final system.
-//
-// Determinism: the result — and, with h attached, the emitted event
-// stream — is a pure function of (*sc, sc.Seed).
-func (sc *Scenario) Run(ctx context.Context, h *obs.Obs) (*Result, error) {
-	if err := sc.Validate(); err != nil {
-		return nil, err
-	}
-	st := &runState{sc: sc, wraps: make(map[vmm.VMID]*surgeWorkload)}
+// baseConfig translates the scenario-level knobs into a core.Config
+// with no VMs attached yet.
+func (sc *Scenario) baseConfig(h *obs.Obs) (core.Config, error) {
 	cfg := core.Config{
 		FastFrames: sc.FastFrames,
 		SlowFrames: sc.SlowFrames,
@@ -286,15 +338,58 @@ func (sc *Scenario) Run(ctx context.Context, h *obs.Obs) (*Result, error) {
 		// system prices epochs through the selected model.
 		build, err := memsim.BuilderByName(sc.Backend)
 		if err != nil {
-			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+			return core.Config{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
 		}
 		cfg.Backend = build
+	}
+	return cfg, nil
+}
+
+// Run executes the scenario. h, when non-nil, attaches observability:
+// lifecycle and fault events, every layer's chokepoint events, and the
+// metrics registry all report into it (the caller owns and closes it).
+// The returned result holds per-VM outcomes in boot order, the sampled
+// timeline, and the final system.
+//
+// Determinism: the result — and, with h attached, the emitted event
+// stream — is a pure function of (*sc, sc.Seed).
+func (sc *Scenario) Run(ctx context.Context, h *obs.Obs) (*Result, error) {
+	return sc.RunWithCheckpoints(ctx, h, CheckpointOptions{})
+}
+
+// RunWithCheckpoints is Run plus periodic checkpointing: after every
+// ck.Every-th epoch the full system state is written to ck.Path.
+// Checkpoint writes never perturb the run — results are identical to a
+// plain Run (the `make snapshot-parity` gate enforces this).
+func (sc *Scenario) RunWithCheckpoints(ctx context.Context, h *obs.Obs, ck CheckpointOptions) (*Result, error) {
+	st, actions, err := sc.newRun(h, ck)
+	if err != nil {
+		return nil, err
+	}
+	return st.loop(ctx, 0, actions, false)
+}
+
+// newRun validates the scenario, boots the epoch-0 system, and returns
+// the run state plus the expanded script, ready for loop. Split from
+// RunWithCheckpoints so the fuzzing harness can attach its probe before
+// the epochs start.
+func (sc *Scenario) newRun(h *obs.Obs, ck CheckpointOptions) (*runState, []action, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if ck.Every > 0 && ck.Path == "" {
+		return nil, nil, fmt.Errorf("scenario %q: periodic checkpoints need a path", sc.Name)
+	}
+	st := &runState{sc: sc, wraps: make(map[vmm.VMID]*surgeWorkload), lastSampled: -1, ck: ck}
+	cfg, err := sc.baseConfig(h)
+	if err != nil {
+		return nil, nil, err
 	}
 	for i := range sc.VMs {
 		v := &sc.VMs[i]
 		vc, err := st.vmConfig(v)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cfg.VMs = append(cfg.VMs, vc)
 		st.runs = append(st.runs, &VMRun{
@@ -303,38 +398,75 @@ func (sc *Scenario) Run(ctx context.Context, h *obs.Obs) (*Result, error) {
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	st.sys = sys
+	return st, expandActions(sc.Events), nil
+}
 
-	actions := expandActions(sc.Events)
+// loop drives the lockstep epochs from startEpoch with the not-yet-
+// applied actions, then assembles the result. firedAtStart marks the
+// first epoch as an event epoch regardless of remaining actions (a
+// resumed run whose checkpoint event fired mid-epoch must still sample
+// that epoch, exactly as the uninterrupted run did).
+func (st *runState) loop(ctx context.Context, startEpoch int, actions []action, firedAtStart bool) (*Result, error) {
+	sc := st.sc
+	sys := st.sys
 	every := sc.sampleEvery()
-	lastSampled := -1
-	for epoch := 0; epoch < sc.maxEpochs(); epoch++ {
+	for epoch := startEpoch; epoch < sc.maxEpochs(); epoch++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		fired := false
+		fired := firedAtStart
+		firedAtStart = false
 		for len(actions) > 0 && actions[0].at <= epoch {
 			a := actions[0]
 			actions = actions[1:]
+			st.consumed++
 			fired = true
+			if a.ev.Kind == KindCheckpoint {
+				// State as of this instant: epoch not yet stepped, this
+				// action already consumed, the epoch marked as fired.
+				if err := st.writeCheckpoint(a.ev.Path, epoch, true); err != nil {
+					return nil, fmt.Errorf("scenario %q epoch %d: %w", sc.Name, epoch, err)
+				}
+				continue
+			}
 			if err := st.apply(a, epoch); err != nil {
 				return nil, fmt.Errorf("scenario %q epoch %d: %w", sc.Name, epoch, err)
+			}
+			if st.probe != nil {
+				if err := st.probe(sys, "event", epoch); err != nil {
+					return nil, fmt.Errorf("scenario %q epoch %d after %s event: %w", sc.Name, epoch, a.ev.Kind, err)
+				}
 			}
 		}
 		alive, err := sys.StepEpoch()
 		if err != nil {
 			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
 		}
+		if st.probe != nil {
+			if err := st.probe(sys, "epoch", epoch); err != nil {
+				return nil, fmt.Errorf("scenario %q epoch %d: %w", sc.Name, epoch, err)
+			}
+		}
 		if fired || epoch%every == 0 {
 			st.sample(epoch)
-			lastSampled = epoch
+			st.lastSampled = epoch
 		}
-		if !alive && len(actions) == 0 {
-			if lastSampled != epoch {
-				st.sample(epoch)
+		done := !alive && len(actions) == 0
+		if done && st.lastSampled != epoch {
+			st.sample(epoch)
+			st.lastSampled = epoch
+		}
+		if st.ck.Every > 0 && (epoch+1)%st.ck.Every == 0 && !done {
+			// Post-epoch checkpoint: resume re-enters at epoch+1 with
+			// nothing consumed mid-epoch.
+			if err := st.writeCheckpoint(st.ck.Path, epoch+1, false); err != nil {
+				return nil, fmt.Errorf("scenario %q epoch %d: %w", sc.Name, epoch, err)
 			}
+		}
+		if done {
 			break
 		}
 	}

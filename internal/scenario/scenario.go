@@ -47,6 +47,11 @@ const (
 	// (default 2) for Event.Duration epochs — the FastMem pressure
 	// spike of a hog VM.
 	KindSurge = "surge"
+	// KindCheckpoint writes a full-system checkpoint to Event.Path
+	// before the event epoch's lockstep step. Checkpoints never perturb
+	// the run: the scenario's results are identical with the event
+	// removed.
+	KindCheckpoint = "checkpoint"
 )
 
 // VMDesc describes one guest: its application, management mode, and
@@ -84,6 +89,8 @@ type Event struct {
 	Duration int `json:"duration,omitempty"`
 	// Factor is the surge demand multiple (default 2).
 	Factor int `json:"factor,omitempty"`
+	// Path is the checkpoint destination file for KindCheckpoint.
+	Path string `json:"path,omitempty"`
 }
 
 // Scenario is a complete scripted run. The zero values of the optional
@@ -207,6 +214,13 @@ func (sc *Scenario) SurgeAt(epoch int, id int32, duration, factor int) *Scenario
 	return sc
 }
 
+// CheckpointAt schedules a checkpoint write to path before epoch's
+// lockstep step.
+func (sc *Scenario) CheckpointAt(epoch int, path string) *Scenario {
+	sc.Events = append(sc.Events, Event{At: epoch, Kind: KindCheckpoint, Path: path})
+	return sc
+}
+
 func (sc *Scenario) maxEpochs() int {
 	if sc.MaxEpochs > 0 {
 		return sc.MaxEpochs
@@ -304,6 +318,10 @@ func (sc *Scenario) Validate() error {
 		case KindThrottleShift:
 			if e.Throttle == nil {
 				return fmt.Errorf("scenario %q: %s: missing throttle point", sc.Name, where)
+			}
+		case KindCheckpoint:
+			if e.Path == "" {
+				return fmt.Errorf("scenario %q: %s: missing checkpoint path", sc.Name, where)
 			}
 		default:
 			return fmt.Errorf("scenario %q: %s: unknown event kind %q", sc.Name, where, e.Kind)

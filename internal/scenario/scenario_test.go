@@ -2,6 +2,10 @@ package scenario
 
 import (
 	"context"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"heteroos/internal/memsim"
@@ -82,6 +86,38 @@ func TestValidateRejections(t *testing.T) {
 			sc.Events = append(sc.Events, Event{At: -1, Kind: KindShutdown, VM: 1})
 			return sc
 		}},
+		{"negative duration", func() *Scenario {
+			sc := base()
+			sc.Events = append(sc.Events, Event{At: 2, Kind: KindSurge, VM: 1, Duration: -3})
+			return sc
+		}},
+		{"negative factor", func() *Scenario {
+			sc := base()
+			sc.Events = append(sc.Events, Event{At: 2, Kind: KindSurge, VM: 1, Factor: -2})
+			return sc
+		}},
+		{"zero memory span", func() *Scenario {
+			sc := base()
+			sc.VMs[0].FastPages, sc.VMs[0].SlowPages = 0, 0
+			return sc
+		}},
+		{"non-positive VM id", func() *Scenario {
+			sc := base()
+			sc.VMs[0].ID = 0
+			return sc
+		}},
+		{"unknown backend", func() *Scenario { return base().WithBackend("quantum") }},
+		{"checkpoint without path", func() *Scenario {
+			sc := base()
+			sc.Events = append(sc.Events, Event{At: 2, Kind: KindCheckpoint})
+			return sc
+		}},
+		{"surge before any boot of target", func() *Scenario {
+			// VM 7 is only ever introduced by a boot event; a fault
+			// event may still target it (it fires later), but a target
+			// the script never introduces at all must be rejected.
+			return base().SurgeAt(2, 7, 4, 2)
+		}},
 	}
 	for _, tc := range cases {
 		if err := tc.build().Validate(); err == nil {
@@ -109,6 +145,52 @@ func TestBundledScenariosLoad(t *testing.T) {
 	// A path that does not exist on disk falls back to the bundled set.
 	if _, err := LoadFile("/no/such/dir/churn.json"); err != nil {
 		t.Errorf("bundled fallback failed: %v", err)
+	}
+}
+
+// TestLoadFile pins the fallback contract: only a path that does not
+// exist may fall back to the bundled scenario of the same base name;
+// every other failure — unparseable JSON, unreadable path — must
+// surface as a real error even when a bundled name matches.
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+
+	// Present but invalid JSON: a parse error, never the bundled copy.
+	bad := filepath.Join(dir, "churn.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bad); err == nil {
+		t.Error("invalid JSON masked by the bundled fallback")
+	}
+
+	// Missing file with a non-bundled base name: plain not-exist error.
+	if _, err := LoadFile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("loading a missing, non-bundled scenario succeeded")
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing file error lost its not-exist cause: %v", err)
+	}
+
+	// Missing file whose base name is bundled: the fallback.
+	sc, err := LoadFile(filepath.Join(dir, "nope", "churn.json"))
+	if err != nil {
+		t.Fatalf("bundled fallback failed: %v", err)
+	}
+	if sc.Name == "" {
+		t.Error("bundled fallback returned an unnamed scenario")
+	}
+
+	// A directory named like a bundled scenario: reading it fails with
+	// something other than not-exist, so no fallback — the caller gets
+	// the real error.
+	dirPath := filepath.Join(dir, "degrade.json")
+	if err := os.Mkdir(dirPath, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(dirPath); err == nil {
+		t.Error("directory path masked by the bundled fallback")
+	} else if errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("directory read reported not-exist: %v", err)
 	}
 }
 

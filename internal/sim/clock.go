@@ -73,3 +73,9 @@ func (c *Clock) Advance(d Duration) Time {
 // Reset rewinds the clock to zero. Intended for reusing a simulation
 // harness across experiment runs.
 func (c *Clock) Reset() { c.now = 0 }
+
+// Restore sets the clock to an absolute point, for resuming a
+// checkpointed simulation. It is the only sanctioned way to move a
+// clock other than Advance; ordinary simulation code must never call
+// it.
+func (c *Clock) Restore(t Time) { c.now = t }

@@ -40,6 +40,11 @@ func NewZipf(rng *RNG, s float64, n int) *Zipf {
 // N reports the support size of the distribution.
 func (z *Zipf) N() int { return len(z.cdf) }
 
+// RNG exposes the sampler's random stream so checkpoint code can
+// serialize and restore it (the CDF itself is a pure function of the
+// constructor arguments and carries no run state).
+func (z *Zipf) RNG() *RNG { return z.rng }
+
 // Sample draws the next value.
 func (z *Zipf) Sample() int {
 	u := z.rng.Float64()
@@ -128,3 +133,15 @@ func (s *SequentialWindow) Sample() int {
 
 // Pos reports the current cursor position without advancing it.
 func (s *SequentialWindow) Pos() int { return s.cursor }
+
+// Seek moves the cursor to pos (mod items); checkpoint restore uses it
+// to resume a sweep exactly where it stopped.
+func (s *SequentialWindow) Seek(pos int) {
+	if pos < 0 {
+		pos = 0
+	}
+	s.cursor = pos % s.items
+}
+
+// RNG exposes the sampler's random stream for checkpoint code.
+func (h *HotCold) RNG() *RNG { return h.rng }

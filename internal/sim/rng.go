@@ -38,6 +38,15 @@ func (r *RNG) Seed(seed uint64) {
 // pattern to the parent's.
 func (r *RNG) Fork() *RNG { return NewRNG(r.Uint64()) }
 
+// State exports the generator's raw xoshiro256** state words so a
+// stream can be checkpointed mid-run and later resumed exactly where
+// it left off (see internal/snapshot).
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// Restore overwrites the generator state with a previously exported
+// State. The next Uint64 continues the original stream bit-for-bit.
+func (r *RNG) Restore(s [4]uint64) { r.s = s }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.
