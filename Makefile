@@ -131,20 +131,21 @@ backend-parity:
 check: vet build test race obs-parity scenario-smoke backend-parity \
 	snapshot-parity fuzz-smoke
 
-# bench runs the ranking and figure9-sweep benchmarks at benchstat-grade
-# repetition: save the output before and after a change and compare the
-# two files with benchstat.
+# bench runs the ranking, scan, and figure9-sweep benchmarks at
+# benchstat-grade repetition: save the output before and after a change
+# and compare the two files with benchstat.
 bench:
-	$(GO) test -run=NONE -bench='HottestIn|ColdestIn|HotScan|SweepFigure9|EpochPricing' \
+	$(GO) test -run=NONE -bench='HottestIn|ColdestIn|HotScan|ScanNext|SweepFigure9|EpochPricing' \
 		-benchmem -count=5 .
 
 # bench-json regenerates the committed perf-trajectory baselines: the
-# analytic-side benchmarks into BENCH_analytic.json and the coarse
-# backend (with its epoch-pricing speedup over analytic) into
-# BENCH_coarse.json.
+# analytic-side benchmarks into BENCH_analytic.json, the coarse backend
+# (with its epoch-pricing speedup over analytic) into BENCH_coarse.json,
+# and the word-at-a-time scan (with its speedup over the per-page
+# reference path) into BENCH_scan.json.
 bench-json:
 	@tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
-	$(GO) test -run=NONE -bench='HottestIn|ColdestIn|HotScan|SweepFigure9|EpochPricing' \
+	$(GO) test -run=NONE -bench='HottestIn|ColdestIn|HotScan|ScanNext|SweepFigure9|EpochPricing' \
 		-benchmem -count=5 . > "$$tmp" || { cat "$$tmp"; exit 1; }; \
 	$(GO) run ./cmd/benchjson -label analytic \
 		-match 'HottestIn|ColdestIn|HotScan|SweepFigure9Workers|EpochPricingAnalytic' \
@@ -153,16 +154,23 @@ bench-json:
 		-match 'SweepFigure9Coarse|EpochPricingCoarse' \
 		-speedup EpochPricingCoarse=EpochPricingAnalytic \
 		< "$$tmp" > BENCH_coarse.json || exit 1; \
-	echo "bench-json: wrote BENCH_analytic.json BENCH_coarse.json"
+	$(GO) run ./cmd/benchjson -label scan \
+		-match 'ScanNext' \
+		-speedup ScanNextWord=ScanNextRef \
+		< "$$tmp" > BENCH_scan.json || exit 1; \
+	echo "bench-json: wrote BENCH_analytic.json BENCH_coarse.json BENCH_scan.json"
 
-# bench-guard re-runs the epoch-pricing benchmarks and fails if the
-# coarse-over-analytic speedup regressed more than 5% below the
-# committed BENCH_coarse.json factor. The ratio (not raw ns/op) is
-# guarded, so the check is stable across machines. Not part of check:
-# benchmarks are too noisy for an always-on gate.
+# bench-guard re-runs the speedup-pair benchmarks and fails if either
+# committed factor regressed more than 5%: coarse-over-analytic epoch
+# pricing (BENCH_coarse.json) and word-over-reference scanning
+# (BENCH_scan.json). The ratio (not raw ns/op) is guarded, so the check
+# is stable across machines. Not part of check: benchmarks are too noisy
+# for an always-on gate.
 bench-guard:
 	@$(GO) test -run=NONE -bench='EpochPricing' -benchmem -count=3 . \
 		| $(GO) run ./cmd/benchjson -guard BENCH_coarse.json -tolerance 0.05
+	@$(GO) test -run=NONE -bench='ScanNext' -benchmem -count=3 . \
+		| $(GO) run ./cmd/benchjson -guard BENCH_scan.json -tolerance 0.05
 
 # bench-all smoke-runs every benchmark once (artifact regeneration
 # included), trading statistical weight for coverage.

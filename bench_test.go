@@ -272,6 +272,73 @@ func BenchmarkHotScan(b *testing.B) {
 	}
 }
 
+// refOnlyView hides the guest's WordScanView implementation behind a
+// plain GuestView, so NewScanner's type assertion fails and the scanner
+// falls back to the per-page TestAndClearAccessed path — the pre-SoA
+// baseline the word-at-a-time scan is measured against.
+type refOnlyView struct{ vmm.GuestView }
+
+// benchScanNextEpoch measures one whole-epoch ScanNext pass (BatchPages
+// = full guest span, 64K PFNs) in steady state: a 2048-page hot set
+// spread across the resident region is re-touched before every pass
+// (untimed), so each timed pass consumes real access bits and decays
+// real heat while most bitmap words stay all-zero — the shape the
+// word-at-a-time scan exploits.
+func benchScanNextEpoch(b *testing.B, wrap func(*guestos.OS) vmm.GuestView) {
+	src := benchSource(b)
+	osys, err := guestos.New(guestos.Config{
+		CPUs: 1, Aware: false,
+		FastMaxPages: 16384, SlowMaxPages: 49152,
+		BootFastPages: 16384, BootSlowPages: 49152,
+		Placement: guestos.PlacementConfig{Name: "bench"},
+		Source:    src, TierOf: src.TierOf, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vma, err := osys.AS.Mmap(24576, guestos.KindAnon, guestos.NilFile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	touchHotSet := func() {
+		for j := 0; j < 2048; j++ {
+			if _, err := osys.TouchVPN(vma.Start+guestos.VPN(j*12), 1, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	sc := vmm.NewScanner(wrap(osys), vmm.DefaultScanCosts())
+	sc.BatchPages = int(osys.NumPFNs())
+	// Warm to steady-state heat before timing.
+	for round := 0; round < 8; round++ {
+		touchHotSet()
+		sc.ScanNext()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		touchHotSet()
+		b.StartTimer()
+		res := sc.ScanNext()
+		if res.Scanned != int(osys.NumPFNs()) || res.Referenced == 0 {
+			b.Fatalf("scan shape wrong: %+v", res)
+		}
+	}
+}
+
+// BenchmarkScanNextWord: whole-epoch scan through the word-at-a-time
+// bitmap path (the guest's native WordScanView).
+func BenchmarkScanNextWord(b *testing.B) {
+	benchScanNextEpoch(b, func(o *guestos.OS) vmm.GuestView { return o })
+}
+
+// BenchmarkScanNextRef: the same pass forced down the per-page
+// reference path.
+func BenchmarkScanNextRef(b *testing.B) {
+	benchScanNextEpoch(b, func(o *guestos.OS) vmm.GuestView { return refOnlyView{o} })
+}
+
 // benchRankingScanners builds the BenchmarkHotScan guest shape (64K
 // PFNs, fully boot-populated across both tiers) with a heated working
 // set spanning the tiers, and returns two scanners over it: one ranking

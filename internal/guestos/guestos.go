@@ -130,7 +130,11 @@ const (
 	FlagScanWritten
 )
 
-// Page is the guest's per-frame metadata (struct page).
+// Page is a materialized view of one frame's metadata (struct page).
+// The storage of record is the struct-of-arrays PageStore (store.go);
+// PageStore.PageView assembles this value for tests, snapshots, and
+// debugging. Hot paths read individual fields through the store's
+// accessors instead.
 type Page struct {
 	MFN   memsim.MFN // backing machine frame; NilMFN when unpopulated
 	Kind  PageKind

@@ -54,10 +54,9 @@ func (o *OS) faultIn(vpn VPN, fromSwap bool) (PFN, error) {
 				return NilPFN, fmt.Errorf("guestos: out of memory faulting vpn %d", vpn)
 			}
 		}
-		p := o.store.Page(pfn)
-		p.VPN = vpn
+		o.store.SetVPN(pfn, vpn)
 		if fromSwap {
-			p.Tag = o.swap.take(vpn)
+			o.store.SetTag(pfn, o.swap.take(vpn))
 			o.AS.clearSwapEntry(vpn)
 			o.AS.swapIns++
 			o.ep.SwapIns++
@@ -75,10 +74,9 @@ func (o *OS) faultIn(vpn VPN, fromSwap bool) (PFN, error) {
 		if !ok {
 			return NilPFN, fmt.Errorf("guestos: out of memory mapping file page %d@%d", v.File, off)
 		}
-		p := o.store.Page(PFN(pfn))
-		p.VPN = vpn
-		p.File = v.File
-		p.FileOff = off
+		o.store.SetVPN(PFN(pfn), vpn)
+		o.store.SetFile(PFN(pfn), v.File)
+		o.store.SetFileOff(PFN(pfn), off)
 		o.AS.mapPage(vpn, PFN(pfn))
 		v.Resident++
 		return PFN(pfn), nil
@@ -96,30 +94,30 @@ func (o *OS) emergencyReclaim() {
 // recordUserTouch attributes application accesses to the page's tier and
 // updates reference state.
 func (o *OS) recordUserTouch(pfn PFN, loads, stores uint64) {
-	p := o.store.Page(pfn)
+	st := o.store
 	tier := o.TierOfPage(pfn)
 	o.ep.UserLoads[tier] += loads
 	o.ep.UserStores[tier] += stores
-	p.LastUse = o.epoch
-	p.Set(FlagScanAccessed)
+	st.SetLastUse(pfn, o.epoch)
+	st.Set(pfn, FlagScanAccessed)
 	if stores > 0 {
-		p.Set(FlagScanWritten)
+		st.Set(pfn, FlagScanWritten)
 	}
-	if p.Heat < ^uint32(0) {
-		p.Heat++
+	if h := st.Heat(pfn); h < ^uint32(0) {
+		st.SetHeat(pfn, h+1)
 	}
 	// MarkAccessed manages the referenced bit for LRU pages (first touch
 	// marks, second promotes); pinned pages just get the bit. Heavily
 	// touched pages activate immediately — one TouchVPN call stands for
 	// many real references.
-	if p.Has(FlagOnLRU) {
+	if st.Has(pfn, FlagOnLRU) {
 		l := o.lrus[o.nodeIndexOf(pfn)]
 		l.MarkAccessed(pfn)
 		if loads+stores >= 3 {
 			l.MarkAccessed(pfn)
 		}
 	} else {
-		p.Set(FlagAccessed)
+		st.Set(pfn, FlagAccessed)
 	}
 }
 
@@ -131,16 +129,16 @@ func (o *OS) recordUserTouch(pfn PFN, loads, stores uint64) {
 // page-cache and skbuff placement matter to I/O-intensive applications
 // exactly as Section 3.2 describes.
 func (o *OS) recordKernelTouch(pfn PFN, bytes float64) {
-	p := o.store.Page(pfn)
+	st := o.store
 	tier := o.TierOfPage(pfn)
 	o.ep.KernelCopyBytes[tier] += bytes
 	o.ep.UserLoads[tier] += uint64(bytes / memsim.CacheLineSize)
-	p.LastUse = o.epoch
-	p.Set(FlagScanAccessed)
-	if p.Has(FlagOnLRU) {
+	st.SetLastUse(pfn, o.epoch)
+	st.Set(pfn, FlagScanAccessed)
+	if st.Has(pfn, FlagOnLRU) {
 		o.lrus[o.nodeIndexOf(pfn)].MarkAccessed(pfn)
 	} else {
-		p.Set(FlagAccessed)
+		st.Set(pfn, FlagAccessed)
 	}
 }
 
@@ -192,11 +190,11 @@ func (o *OS) FileWrite(file FileID, off uint64, n int) {
 // pages' metadata.
 func (o *OS) tagCachePages(file FileID, touched []uint64) {
 	for _, raw := range touched {
-		p := o.store.Page(PFN(raw))
-		if p.File == NilFile {
-			p.File = file
+		pfn := PFN(raw)
+		if o.store.File(pfn) == NilFile {
+			o.store.SetFile(pfn, file)
 			if _, fileOff, ok := o.PC.Identity(raw); ok {
-				p.FileOff = fileOff
+				o.store.SetFileOff(pfn, fileOff)
 			}
 		}
 	}
@@ -216,7 +214,7 @@ func (o *OS) ReleaseFileRange(file FileID, off uint64, n int) int {
 			continue
 		}
 		pfn := PFN(raw)
-		if o.store.Page(pfn).VPN != NilVPN {
+		if o.store.VPN(pfn) != NilVPN {
 			o.unmapResident(pfn)
 		}
 		if o.PC.Evict(raw) {
@@ -319,13 +317,12 @@ func (o *OS) EndEpoch() {
 			demoted := o.lrus[memsim.FastMem].BalanceInto(o.balanceBuf[:0], reclaimBatchPages)
 			o.balanceBuf = demoted
 			for _, pfn := range demoted {
-				p := o.store.Page(pfn)
 				// The same guards as reclaim: never eagerly demote a
 				// page that is recently used or tracker-hot.
-				if p.Kind != KindAnon || p.ScanHeat >= 4 {
+				if o.store.Kind(pfn) != KindAnon || o.store.ScanHeat(pfn) >= 4 {
 					continue
 				}
-				if p.LastUse+2 >= o.epoch && o.epoch >= 2 {
+				if o.store.LastUse(pfn)+2 >= o.epoch && o.epoch >= 2 {
 					continue
 				}
 				o.demoteAnonPage(pfn)
@@ -361,30 +358,28 @@ func (o *OS) AddOSTime(ns float64) { o.ep.OSTimeNs += ns }
 // --- VMM-facing view (hotness tracking and transparent migration) ---
 
 // ScanHeat reads the VMM scanner's hotness history for pfn.
-func (o *OS) ScanHeat(pfn PFN) uint8 { return o.store.Page(pfn).ScanHeat }
+func (o *OS) ScanHeat(pfn PFN) uint8 { return o.store.ScanHeat(pfn) }
 
 // SetScanHeat stores the VMM scanner's hotness history for pfn.
 func (o *OS) SetScanHeat(pfn PFN, h uint8) {
-	p := o.store.Page(pfn)
-	if p.ScanHeat == h {
+	if o.store.ScanHeat(pfn) == h {
 		return
 	}
-	p.ScanHeat = h
+	o.store.SetScanHeat(pfn, h)
 	if o.indexer != nil {
 		o.indexer.PageHeatChanged(pfn)
 	}
 }
 
 // ScanWriteHeat reads the tracker's store-activity history for pfn.
-func (o *OS) ScanWriteHeat(pfn PFN) uint8 { return o.store.Page(pfn).ScanWriteHeat }
+func (o *OS) ScanWriteHeat(pfn PFN) uint8 { return o.store.ScanWriteHeat(pfn) }
 
 // SetScanWriteHeat stores the tracker's store-activity history for pfn.
 func (o *OS) SetScanWriteHeat(pfn PFN, h uint8) {
-	p := o.store.Page(pfn)
-	if p.ScanWriteHeat == h {
+	if o.store.ScanWriteHeat(pfn) == h {
 		return
 	}
-	p.ScanWriteHeat = h
+	o.store.SetScanWriteHeat(pfn, h)
 	if o.indexer != nil {
 		o.indexer.PageHeatChanged(pfn)
 	}
@@ -394,9 +389,8 @@ func (o *OS) SetScanWriteHeat(pfn PFN, h uint8) {
 // it reports whether pfn was stored to since the last scan and clears
 // the tracker's private dirtied bit.
 func (o *OS) TestAndClearWritten(pfn PFN) bool {
-	p := o.store.Page(pfn)
-	was := p.Has(FlagScanWritten)
-	p.Clear(FlagScanWritten)
+	was := o.store.Has(pfn, FlagScanWritten)
+	o.store.Clear(pfn, FlagScanWritten)
 	return was
 }
 
@@ -405,10 +399,32 @@ func (o *OS) TestAndClearWritten(pfn PFN) bool {
 // private bit (leaving the LRU's referenced bit alone). The VMM's
 // scanner pays the PTE-walk and TLB-flush costs at its layer.
 func (o *OS) TestAndClearAccessed(pfn PFN) bool {
-	p := o.store.Page(pfn)
-	was := p.Has(FlagScanAccessed)
-	p.Clear(FlagScanAccessed)
+	was := o.store.Has(pfn, FlagScanAccessed)
+	o.store.Clear(pfn, FlagScanAccessed)
 	return was
+}
+
+// TakeScanAccessedWord batch-clears and returns the scan-accessed bits
+// of 64-page word w under mask: the word-at-a-time form of
+// TestAndClearAccessed the VMM scanner consumes (vmm.WordScanView).
+func (o *OS) TakeScanAccessedWord(w int, mask uint64) uint64 {
+	return o.store.TakeScanAccessedWord(w, mask)
+}
+
+// TakeScanWrittenWord is the word-at-a-time TestAndClearWritten.
+func (o *OS) TakeScanWrittenWord(w int, mask uint64) uint64 {
+	return o.store.TakeScanWrittenWord(w, mask)
+}
+
+// ScanHeatNonzeroWord reports which pages of word w still hold nonzero
+// scan heat; the scanner must visit those even when unreferenced.
+func (o *OS) ScanHeatNonzeroWord(w int, mask uint64) uint64 {
+	return o.store.ScanHeatNonzeroWord(w, mask)
+}
+
+// ScanWriteHeatNonzeroWord is ScanHeatNonzeroWord for write heat.
+func (o *OS) ScanWriteHeatNonzeroWord(w int, mask uint64) uint64 {
+	return o.store.ScanWriteHeatNonzeroWord(w, mask)
 }
 
 // PageSnapshot is the per-page state the VMM can observe.
@@ -423,14 +439,15 @@ type PageSnapshot struct {
 
 // Snapshot returns the VMM-visible state of pfn.
 func (o *OS) Snapshot(pfn PFN) PageSnapshot {
-	p := o.store.Page(pfn)
+	st := o.store
+	kind := st.Kind(pfn)
 	return PageSnapshot{
-		Kind:    p.Kind,
-		Free:    p.Kind == KindFree,
-		Movable: p.Kind.Movable() && !p.Has(FlagPinned),
-		Mapped:  p.VPN != NilVPN,
-		Dirty:   p.Kind == KindPageCache && o.PC.Dirty(uint64(pfn)),
-		MFN:     p.MFN,
+		Kind:    kind,
+		Free:    kind == KindFree,
+		Movable: kind.Movable() && !st.Has(pfn, FlagPinned),
+		Mapped:  st.VPN(pfn) != NilVPN,
+		Dirty:   kind == KindPageCache && o.PC.Dirty(uint64(pfn)),
+		MFN:     st.MFN(pfn),
 	}
 }
 
@@ -441,11 +458,10 @@ func (o *OS) SetBackingMFN(pfn PFN, mfn memsim.MFN) {
 	if o.cfg.Aware {
 		panic("guestos: SetBackingMFN on heterogeneity-aware guest")
 	}
-	p := o.store.Page(pfn)
-	if p.MFN == memsim.NilMFN {
+	if o.store.MFN(pfn) == memsim.NilMFN {
 		panic(fmt.Sprintf("guestos: SetBackingMFN on unpopulated pfn %d", pfn))
 	}
-	p.MFN = mfn
+	o.store.SetMFN(pfn, mfn)
 	if o.indexer != nil {
 		o.indexer.PageBacked(pfn, mfn)
 	}
@@ -459,7 +475,21 @@ func (o *OS) SetBackingMFN(pfn PFN, mfn memsim.MFN) {
 // The returned slice is backed by an OS-owned buffer and is only valid
 // until the next TrackingList call (the coordinated pass consumes it
 // immediately; nothing retains it across passes).
+//
+// The full VMA walk is expensive (one Translate per vpn), so the list
+// is cached against the address space's mapping generation: as long as
+// no map/unmap/populate changed a translation, repeat calls return the
+// previous walk's result unchanged.
 func (o *OS) TrackingList() []PFN {
+	if o.trackValid && o.trackGen == o.AS.mapGen {
+		return o.trackBuf
+	}
+	// The export is an observation, not guest work: like
+	// AddrSpace.CheckInvariants, it must not perturb the walkSteps
+	// diagnostic — especially now that caching makes the number of
+	// rebuild walks depend on call patterns (e.g. a restore rebuilds
+	// once where an uninterrupted run kept its cache).
+	defer func(saved uint64) { o.AS.walkSteps = saved }(o.AS.walkSteps)
 	out := o.trackBuf[:0]
 	for _, v := range o.AS.VMAs() {
 		if v.Kind != KindAnon {
@@ -472,6 +502,8 @@ func (o *OS) TrackingList() []PFN {
 		}
 	}
 	o.trackBuf = out
+	o.trackGen = o.AS.mapGen
+	o.trackValid = true
 	return out
 }
 
@@ -488,11 +520,11 @@ func (o *OS) ExceptionList() []PageKind {
 func (o *OS) ResidentByTier() [memsim.NumTiers]uint64 {
 	var out [memsim.NumTiers]uint64
 	for pfn := PFN(0); pfn < PFN(o.store.Len()); pfn++ {
-		p := o.store.Page(pfn)
-		if p.Kind == KindFree || p.MFN == memsim.NilMFN {
+		mfn := o.store.MFN(pfn)
+		if o.store.Kind(pfn) == KindFree || mfn == memsim.NilMFN {
 			continue
 		}
-		out[o.cfg.TierOf(p.MFN)]++
+		out[o.cfg.TierOf(mfn)]++
 	}
 	return out
 }

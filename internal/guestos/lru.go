@@ -2,35 +2,10 @@ package guestos
 
 import (
 	"fmt"
-
-	"heteroos/internal/memsim"
 )
 
-// PageStore owns the guest's per-frame metadata array (the struct page
-// array). PFNs index it directly.
-type PageStore struct {
-	pages []Page
-}
-
-// NewPageStore creates metadata for n frames, all initially unpopulated.
-func NewPageStore(n uint64) *PageStore {
-	s := &PageStore{pages: make([]Page, n)}
-	for i := range s.pages {
-		s.pages[i] = Page{MFN: memsim.NilMFN, VPN: NilVPN, lruPrev: NilPFN, lruNext: NilPFN}
-	}
-	return s
-}
-
-// Page returns the metadata for pfn.
-func (s *PageStore) Page(pfn PFN) *Page {
-	return &s.pages[pfn]
-}
-
-// Len reports the number of frames tracked.
-func (s *PageStore) Len() uint64 { return uint64(len(s.pages)) }
-
 // lruList is an intrusive doubly-linked list threaded through the page
-// store via lruPrev/lruNext.
+// store via the lruPrev/lruNext parallel arrays.
 type lruList struct {
 	head, tail PFN
 	count      uint64
@@ -63,11 +38,11 @@ func (l *PageLRU) list(active bool) *lruList {
 }
 
 func (l *PageLRU) pushHead(lst *lruList, pfn PFN) {
-	p := l.store.Page(pfn)
-	p.lruPrev = NilPFN
-	p.lruNext = lst.head
+	s := l.store
+	s.lruPrev[pfn] = NilPFN
+	s.lruNext[pfn] = lst.head
 	if lst.head != NilPFN {
-		l.store.Page(lst.head).lruPrev = pfn
+		s.lruPrev[lst.head] = pfn
 	}
 	lst.head = pfn
 	if lst.tail == NilPFN {
@@ -77,81 +52,80 @@ func (l *PageLRU) pushHead(lst *lruList, pfn PFN) {
 }
 
 func (l *PageLRU) unlink(lst *lruList, pfn PFN) {
-	p := l.store.Page(pfn)
-	if p.lruPrev != NilPFN {
-		l.store.Page(p.lruPrev).lruNext = p.lruNext
+	s := l.store
+	prev, next := s.lruPrev[pfn], s.lruNext[pfn]
+	if prev != NilPFN {
+		s.lruNext[prev] = next
 	} else {
-		lst.head = p.lruNext
+		lst.head = next
 	}
-	if p.lruNext != NilPFN {
-		l.store.Page(p.lruNext).lruPrev = p.lruPrev
+	if next != NilPFN {
+		s.lruPrev[next] = prev
 	} else {
-		lst.tail = p.lruPrev
+		lst.tail = prev
 	}
-	p.lruPrev, p.lruNext = NilPFN, NilPFN
+	s.lruPrev[pfn], s.lruNext[pfn] = NilPFN, NilPFN
 	lst.count--
 }
 
 // Insert adds a newly allocated page to the inactive list. New pages
 // must earn activation through reuse.
 func (l *PageLRU) Insert(pfn PFN) {
-	p := l.store.Page(pfn)
-	if p.Has(FlagOnLRU) {
+	if l.store.Has(pfn, FlagOnLRU) {
 		panic(fmt.Sprintf("lru: page %d inserted twice", pfn))
 	}
-	p.Set(FlagOnLRU)
-	p.Clear(FlagActive)
+	l.store.Set(pfn, FlagOnLRU)
+	l.store.Clear(pfn, FlagActive)
 	l.pushHead(&l.inactive, pfn)
 }
 
 // Remove takes a page off the LRU entirely (page being freed or
 // migrated away from this node).
 func (l *PageLRU) Remove(pfn PFN) {
-	p := l.store.Page(pfn)
-	if !p.Has(FlagOnLRU) {
+	if !l.store.Has(pfn, FlagOnLRU) {
 		panic(fmt.Sprintf("lru: removing page %d not on LRU", pfn))
 	}
-	l.unlink(l.list(p.Has(FlagActive)), pfn)
-	p.Clear(FlagOnLRU | FlagActive)
+	l.unlink(l.list(l.store.Has(pfn, FlagActive)), pfn)
+	l.store.Clear(pfn, FlagOnLRU|FlagActive)
 }
 
 // Contains reports whether pfn is on this LRU.
 func (l *PageLRU) Contains(pfn PFN) bool {
-	return l.store.Page(pfn).Has(FlagOnLRU)
+	return l.store.Has(pfn, FlagOnLRU)
 }
 
 // MarkAccessed implements mark_page_accessed semantics: the first touch
 // sets the referenced bit; a second touch while on the inactive list
 // promotes the page to the active list.
 func (l *PageLRU) MarkAccessed(pfn PFN) {
-	p := l.store.Page(pfn)
-	if !p.Has(FlagOnLRU) {
+	s := l.store
+	if !s.Has(pfn, FlagOnLRU) {
 		return
 	}
-	if p.Has(FlagActive) {
-		p.Set(FlagAccessed)
+	if s.Has(pfn, FlagActive) {
+		s.Set(pfn, FlagAccessed)
 		return
 	}
-	if p.Has(FlagAccessed) {
+	if s.Has(pfn, FlagAccessed) {
 		// Second reference on the inactive list: activate.
 		l.unlink(&l.inactive, pfn)
-		p.Set(FlagActive)
+		s.Set(pfn, FlagActive)
 		l.pushHead(&l.active, pfn)
 		l.activations++
 		return
 	}
-	p.Set(FlagAccessed)
+	s.Set(pfn, FlagAccessed)
 }
 
 // Deactivate moves an active page to the inactive list head, clearing
 // its referenced bit (shrink_active_list behaviour).
 func (l *PageLRU) Deactivate(pfn PFN) {
-	p := l.store.Page(pfn)
-	if !p.Has(FlagOnLRU) || !p.Has(FlagActive) {
+	s := l.store
+	if !s.Has(pfn, FlagOnLRU) || !s.Has(pfn, FlagActive) {
 		return
 	}
 	l.unlink(&l.active, pfn)
-	p.Clear(FlagActive | FlagAccessed)
+	s.Clear(pfn, FlagActive|FlagAccessed)
 	l.pushHead(&l.inactive, pfn)
 	l.deactivations++
 }
@@ -185,12 +159,12 @@ func (l *PageLRU) TailInactive() PFN { return l.inactive.tail }
 // RotateInactive gives a referenced inactive tail page a second chance
 // by moving it to the inactive head with its referenced bit cleared.
 func (l *PageLRU) RotateInactive(pfn PFN) {
-	p := l.store.Page(pfn)
-	if !p.Has(FlagOnLRU) || p.Has(FlagActive) {
+	s := l.store
+	if !s.Has(pfn, FlagOnLRU) || s.Has(pfn, FlagActive) {
 		return
 	}
 	l.unlink(&l.inactive, pfn)
-	p.Clear(FlagAccessed)
+	s.Clear(pfn, FlagAccessed)
 	l.pushHead(&l.inactive, pfn)
 }
 
@@ -211,6 +185,7 @@ func (l *PageLRU) Stats() (activations, deactivations uint64) {
 // CheckInvariants walks both lists verifying link integrity, flag
 // consistency, and counts.
 func (l *PageLRU) CheckInvariants() error {
+	s := l.store
 	for _, c := range []struct {
 		lst    *lruList
 		active bool
@@ -218,20 +193,19 @@ func (l *PageLRU) CheckInvariants() error {
 	}{{&l.active, true, "active"}, {&l.inactive, false, "inactive"}} {
 		var n uint64
 		prev := NilPFN
-		for pfn := c.lst.head; pfn != NilPFN; pfn = l.store.Page(pfn).lruNext {
-			p := l.store.Page(pfn)
-			if !p.Has(FlagOnLRU) {
+		for pfn := c.lst.head; pfn != NilPFN; pfn = s.lruNext[pfn] {
+			if !s.Has(pfn, FlagOnLRU) {
 				return fmt.Errorf("lru: %s page %d missing FlagOnLRU", c.name, pfn)
 			}
-			if p.Has(FlagActive) != c.active {
+			if s.Has(pfn, FlagActive) != c.active {
 				return fmt.Errorf("lru: page %d active flag mismatch on %s list", pfn, c.name)
 			}
-			if p.lruPrev != prev {
+			if s.lruPrev[pfn] != prev {
 				return fmt.Errorf("lru: page %d prev link broken on %s list", pfn, c.name)
 			}
 			prev = pfn
 			n++
-			if n > l.store.Len() {
+			if n > s.Len() {
 				return fmt.Errorf("lru: %s list cycle", c.name)
 			}
 		}

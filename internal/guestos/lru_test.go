@@ -10,7 +10,7 @@ import (
 func lruFixture(n uint64) (*PageStore, *PageLRU) {
 	store := NewPageStore(n)
 	for pfn := PFN(0); pfn < PFN(n); pfn++ {
-		store.Page(pfn).Kind = KindAnon
+		store.SetKind(pfn, KindAnon)
 	}
 	return store, NewPageLRU(store)
 }
@@ -78,14 +78,14 @@ func TestLRUDeactivateAndRotate(t *testing.T) {
 	l.MarkAccessed(0)
 	l.MarkAccessed(0)
 	l.Deactivate(0)
-	if l.ActiveCount() != 0 || store.Page(0).Has(FlagAccessed) {
+	if l.ActiveCount() != 0 || store.Has(0, FlagAccessed) {
 		t.Fatal("deactivate must clear referenced bit and move lists")
 	}
 	// Tail rotation clears the bit and keeps the page inactive.
 	l.Insert(1)
-	store.Page(1).Set(FlagAccessed)
+	store.Set(1, FlagAccessed)
 	l.RotateInactive(1)
-	if store.Page(1).Has(FlagAccessed) || !l.Contains(1) {
+	if store.Has(1, FlagAccessed) || !l.Contains(1) {
 		t.Fatal("rotate semantics wrong")
 	}
 	// TailInactive returns the oldest inactive page (0, then rotated 1
@@ -129,7 +129,7 @@ func TestLRUMarkAccessedOffList(t *testing.T) {
 	store, l := lruFixture(4)
 	// Pages not on the LRU are ignored without panic.
 	l.MarkAccessed(2)
-	if store.Page(2).Has(FlagAccessed) {
+	if store.Has(2, FlagAccessed) {
 		t.Fatal("off-list page must not gain the referenced bit via LRU")
 	}
 }
@@ -170,7 +170,7 @@ func TestLRUInvariantProperty(t *testing.T) {
 			return false
 		}
 		for pfn := range onLRU {
-			if !store.Page(pfn).Has(FlagOnLRU) {
+			if !store.Has(pfn, FlagOnLRU) {
 				return false
 			}
 		}

@@ -65,6 +65,13 @@ type AddrSpace struct {
 	faults    uint64
 	swapIns   uint64
 	walkSteps uint64
+
+	// mapGen counts mapping mutations (VMA create/destroy, leaf entry
+	// writes). OS.TrackingList caches its export against it, so only
+	// passes after real mapping churn pay the VMA re-walk. Not
+	// serialized: a restored address space starts a fresh generation and
+	// the caller's caches revalidate by rebuilding once.
+	mapGen uint64
 }
 
 func newAddrSpace(os *OS) *AddrSpace {
@@ -91,6 +98,7 @@ func (a *AddrSpace) Mmap(pages uint64, kind PageKind, file FileID) (*VMA, error)
 	a.nextVPN += VPN(pages + vmaGuardPages)
 	a.vmas[v.ID] = v
 	a.order = append(a.order, v.ID)
+	a.mapGen++
 	return v, nil
 }
 
@@ -124,6 +132,7 @@ func (a *AddrSpace) Munmap(id VMAID) error {
 			break
 		}
 	}
+	a.mapGen++
 	return nil
 }
 
@@ -241,6 +250,7 @@ func (a *AddrSpace) mapPage(vpn VPN, pfn PFN) {
 		n.live++
 	}
 	n.leaves[idx] = pfn
+	a.mapGen++
 }
 
 // unmapPage clears the mapping of vpn. Page-table pages whose last entry
@@ -286,6 +296,7 @@ func (a *AddrSpace) setLeaf(vpn VPN, entry PFN, reclaim bool) {
 		n.live--
 	}
 	n.leaves[idx] = entry
+	a.mapGen++
 	if !reclaim || entry != ptEntryAbsent || n.live > 0 {
 		return
 	}

@@ -156,8 +156,12 @@ type OS struct {
 	// probes (see probe.go); nil means observability is off.
 	obs *osProbes
 	// trackBuf backs TrackingList so the per-pass export allocates
-	// nothing in steady state.
-	trackBuf []PFN
+	// nothing in steady state. trackGen/trackValid cache the list
+	// against the address space's mapping generation, so repeat passes
+	// with no mapping churn skip the VMA walk entirely.
+	trackBuf   []PFN
+	trackGen   uint64
+	trackValid bool
 	// balanceBuf backs the LRU Balance calls in EndEpoch and reclaim.
 	balanceBuf []PFN
 
@@ -341,8 +345,8 @@ func (o *OS) Placement() *PlacementConfig { return &o.cfg.Placement }
 // Epoch returns the current epoch number.
 func (o *OS) Epoch() uint32 { return o.epoch }
 
-// Page returns the metadata of pfn.
-func (o *OS) Page(pfn PFN) *Page { return o.store.Page(pfn) }
+// PageView materializes the metadata of pfn (tests, debugging).
+func (o *OS) PageView(pfn PFN) Page { return o.store.PageView(pfn) }
 
 // Store exposes the page store (tests, VMM adapters).
 func (o *OS) Store() *PageStore { return o.store }
@@ -352,11 +356,11 @@ func (o *OS) NumPFNs() uint64 { return o.store.Len() }
 
 // TierOfPage resolves the tier currently backing pfn.
 func (o *OS) TierOfPage(pfn PFN) memsim.Tier {
-	p := o.store.Page(pfn)
-	if p.MFN == memsim.NilMFN {
+	mfn := o.store.MFN(pfn)
+	if mfn == memsim.NilMFN {
 		panic(fmt.Sprintf("guestos: tier of unpopulated pfn %d", pfn))
 	}
-	return o.cfg.TierOf(p.MFN)
+	return o.cfg.TierOf(mfn)
 }
 
 func (o *OS) nodeIndexOf(pfn PFN) int {
@@ -388,8 +392,7 @@ func (o *OS) populateNode(idx int, want uint64) uint64 {
 	for _, mfn := range mfns {
 		pfn := (*slots)[len(*slots)-1]
 		*slots = (*slots)[:len(*slots)-1]
-		pg := o.store.Page(pfn)
-		pg.MFN = mfn
+		o.store.SetMFN(pfn, mfn)
 		n.addPopulated(pfn, 1)
 		if o.indexer != nil {
 			o.indexer.PageBacked(pfn, mfn)
@@ -536,8 +539,7 @@ func (o *OS) sampleAdmission(pfn PFN) {
 	if len(o.admitRing) > 4096 {
 		return
 	}
-	p := o.store.Page(pfn)
-	o.admitRing = append(o.admitRing, admitSample{pfn: pfn, tag: p.Tag, epoch: o.epoch})
+	o.admitRing = append(o.admitRing, admitSample{pfn: pfn, tag: o.store.Tag(pfn), epoch: o.epoch})
 }
 
 // evaluateAdmissions folds matured admission samples into the EWMAs.
@@ -561,8 +563,8 @@ func foldRegret(o *OS, ring []admitSample, rate float64, seen int) ([]admitSampl
 			break
 		}
 		total++
-		p := o.store.Page(s.pfn)
-		if p.Tag == s.tag && p.Kind != KindFree && p.LastUse > s.epoch {
+		st := o.store
+		if st.Tag(s.pfn) == s.tag && st.Kind(s.pfn) != KindFree && st.LastUse(s.pfn) > s.epoch {
 			hits++
 		}
 	}
@@ -583,11 +585,11 @@ func foldSamples(o *OS, ring []admitSample, rate float64, seen int) ([]admitSamp
 			break
 		}
 		total++
-		p := o.store.Page(s.pfn)
+		st := o.store
 		// The page proved hot if it still holds the same contents, is
 		// still FastMem-resident, and reached the active list.
-		if p.Tag == s.tag && p.Kind != KindFree && p.Has(FlagActive) &&
-			p.MFN != memsim.NilMFN && o.cfg.TierOf(p.MFN) == memsim.FastMem {
+		if st.Tag(s.pfn) == s.tag && st.Kind(s.pfn) != KindFree && st.Has(s.pfn, FlagActive) &&
+			st.MFN(s.pfn) != memsim.NilMFN && o.cfg.TierOf(st.MFN(s.pfn)) == memsim.FastMem {
 			hits++
 		}
 	}
@@ -613,20 +615,20 @@ func (o *OS) PromoteRate() float64 { return o.promoteRate }
 
 // initPage prepares freshly allocated page metadata.
 func (o *OS) initPage(pfn PFN, kind PageKind, spilled bool) {
-	p := o.store.Page(pfn)
-	if p.Kind != KindFree {
-		panic(fmt.Sprintf("guestos: allocating in-use pfn %d (%v)", pfn, p.Kind))
+	st := o.store
+	if k := st.Kind(pfn); k != KindFree {
+		panic(fmt.Sprintf("guestos: allocating in-use pfn %d (%v)", pfn, k))
 	}
-	p.Kind = kind
-	p.Flags = 0
-	p.VPN = NilVPN
-	p.File = NilFile
-	p.FileOff = 0
-	p.LastUse = o.epoch
-	p.Heat = 0
-	p.Tag = o.rng.Uint64()
+	st.SetKind(pfn, kind)
+	st.SetAllFlags(pfn, 0)
+	st.SetVPN(pfn, NilVPN)
+	st.SetFile(pfn, NilFile)
+	st.SetFileOff(pfn, 0)
+	st.SetLastUse(pfn, o.epoch)
+	st.SetHeat(pfn, 0)
+	st.SetTag(pfn, o.rng.Uint64())
 	if spilled {
-		p.Set(FlagFastPref)
+		st.Set(pfn, FlagFastPref)
 	}
 	o.Cum.AllocsByKind[kind]++
 	switch kind {
@@ -637,7 +639,7 @@ func (o *OS) initPage(pfn PFN, kind PageKind, spilled bool) {
 			o.sampleAdmission(pfn)
 		}
 	case KindPageTable, KindDMA:
-		p.Set(FlagPinned)
+		st.Set(pfn, FlagPinned)
 	}
 	if o.indexer != nil {
 		o.indexer.PageFreeChanged(pfn, false)
@@ -648,22 +650,22 @@ func (o *OS) initPage(pfn PFN, kind PageKind, spilled bool) {
 // unmapped first; cache pages must be released through the page cache
 // (which calls back into here).
 func (o *OS) freePage(pfn PFN) {
-	p := o.store.Page(pfn)
-	if p.Kind == KindFree {
+	st := o.store
+	if st.Kind(pfn) == KindFree {
 		panic(fmt.Sprintf("guestos: double free of pfn %d", pfn))
 	}
-	if p.VPN != NilVPN {
+	if st.VPN(pfn) != NilVPN {
 		o.unmapResident(pfn)
 	}
 	idx := o.nodeIndexOf(pfn)
-	if p.Has(FlagOnLRU) {
+	if st.Has(pfn, FlagOnLRU) {
 		o.lrus[idx].Remove(pfn)
 	}
-	o.Cum.FreesByKind[p.Kind]++
-	p.Kind = KindFree
-	p.Flags = 0
-	p.VPN = NilVPN
-	p.File = NilFile
+	o.Cum.FreesByKind[st.Kind(pfn)]++
+	st.SetKind(pfn, KindFree)
+	st.SetAllFlags(pfn, 0)
+	st.SetVPN(pfn, NilVPN)
+	st.SetFile(pfn, NilFile)
 	o.ep.OSTimeNs += o.costs.FreeNs
 	o.nodes[idx].PCP.Free(0, 0, uint64(pfn))
 	if o.indexer != nil {
@@ -674,8 +676,7 @@ func (o *OS) freePage(pfn PFN) {
 // unmapResident clears the virtual mapping of a resident page and fixes
 // the owning VMA's resident count.
 func (o *OS) unmapResident(pfn PFN) {
-	p := o.store.Page(pfn)
-	vpn := p.VPN
+	vpn := o.store.VPN(pfn)
 	if vpn == NilVPN {
 		return
 	}
@@ -683,21 +684,20 @@ func (o *OS) unmapResident(pfn PFN) {
 	if v, ok := o.AS.FindVMA(vpn); ok {
 		v.Resident--
 	}
-	p.VPN = NilVPN
+	o.store.SetVPN(pfn, NilVPN)
 }
 
 // releaseAnonPage frees an anonymous page during munmap (the mapping is
 // already cleared by the caller).
 func (o *OS) releaseAnonPage(pfn PFN) {
-	p := o.store.Page(pfn)
-	p.VPN = NilVPN
+	o.store.SetVPN(pfn, NilVPN)
 	o.freePage(pfn)
 }
 
 // fileUnmapped detaches a file-mapped cache page from the address space
 // without evicting it from the cache.
 func (o *OS) fileUnmapped(pfn PFN) {
-	o.store.Page(pfn).VPN = NilVPN
+	o.store.SetVPN(pfn, NilVPN)
 }
 
 // GuestPanic is the guest kernel's unrecoverable resource-exhaustion
@@ -768,9 +768,8 @@ func (o *OS) releaseFreeFrames(idx int, want uint64) uint64 {
 	}
 	mfns := make([]memsim.MFN, len(pfns))
 	for i, pfn := range pfns {
-		pg := o.store.Page(pfn)
-		mfns[i] = pg.MFN
-		pg.MFN = memsim.NilMFN
+		mfns[i] = o.store.MFN(pfn)
+		o.store.SetMFN(pfn, memsim.NilMFN)
 		o.unpopulated[idx] = append(o.unpopulated[idx], pfn)
 		if o.indexer != nil {
 			o.indexer.PageUnbacked(pfn)
@@ -795,12 +794,12 @@ func (o *OS) releaseFreeFrames(idx int, want uint64) uint64 {
 func (o *OS) Teardown() uint64 {
 	mfns := make([]memsim.MFN, 0, o.store.Len())
 	for pfn := PFN(0); pfn < PFN(o.store.Len()); pfn++ {
-		p := o.store.Page(pfn)
-		if p.MFN == memsim.NilMFN {
+		mfn := o.store.MFN(pfn)
+		if mfn == memsim.NilMFN {
 			continue
 		}
-		mfns = append(mfns, p.MFN)
-		p.MFN = memsim.NilMFN
+		mfns = append(mfns, mfn)
+		o.store.SetMFN(pfn, memsim.NilMFN)
 		if o.indexer != nil {
 			o.indexer.PageUnbacked(pfn)
 		}
@@ -815,7 +814,7 @@ func (o *OS) Teardown() uint64 {
 // must satisfy it (System.CheckInvariants asserts this after shutdown).
 func (o *OS) P2MEmpty() error {
 	for pfn := PFN(0); pfn < PFN(o.store.Len()); pfn++ {
-		if o.store.Page(pfn).MFN != memsim.NilMFN {
+		if o.store.MFN(pfn) != memsim.NilMFN {
 			return fmt.Errorf("guestos: pfn %d still backed after teardown", pfn)
 		}
 	}
@@ -847,18 +846,21 @@ func (o *OS) CheckInvariants() error {
 			return err
 		}
 	}
+	if err := o.store.CheckInvariants(); err != nil {
+		return err
+	}
 	// Every populated, non-free page has a backing frame; every free
 	// page is either unpopulated or in an allocator.
 	var used, lru uint64
 	for pfn := PFN(0); pfn < PFN(o.store.Len()); pfn++ {
-		p := o.store.Page(pfn)
-		if p.Kind != KindFree && p.MFN == memsim.NilMFN {
+		kind := o.store.Kind(pfn)
+		if kind != KindFree && o.store.MFN(pfn) == memsim.NilMFN {
 			return fmt.Errorf("guestos: in-use pfn %d has no backing frame", pfn)
 		}
-		if p.Kind != KindFree {
+		if kind != KindFree {
 			used++
 		}
-		if p.Has(FlagOnLRU) {
+		if o.store.Has(pfn, FlagOnLRU) {
 			lru++
 		}
 	}
@@ -898,7 +900,7 @@ func (o *OS) SlabChurnPageEquivalents() (netbuf, slab float64) {
 func (o *OS) PageCensus() [NumKinds]uint64 {
 	var out [NumKinds]uint64
 	for pfn := PFN(0); pfn < PFN(o.store.Len()); pfn++ {
-		out[o.store.Page(pfn).Kind]++
+		out[o.store.Kind(pfn)]++
 	}
 	return out
 }

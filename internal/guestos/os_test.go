@@ -169,7 +169,7 @@ func TestFallbackToSlowWhenFastExhausted(t *testing.T) {
 		}
 		if os.TierOfPage(pfn) == memsim.SlowMem {
 			spilled = true
-			if !os.Page(pfn).Has(FlagFastPref) {
+			if !os.Store().Has(pfn, FlagFastPref) {
 				t.Fatal("spilled page missing FlagFastPref")
 			}
 		}
@@ -376,7 +376,7 @@ func TestPromotePageValidityChecks(t *testing.T) {
 		}
 		pfn, _ = os.AS.Translate(vma.Start)
 	}
-	tag := os.Page(pfn).Tag
+	tag := os.PageView(pfn).Tag
 	if !os.PromotePage(pfn) {
 		t.Fatal("promotion failed")
 	}
@@ -387,7 +387,7 @@ func TestPromotePageValidityChecks(t *testing.T) {
 	if os.TierOfPage(newPfn) != memsim.FastMem {
 		t.Fatal("page not in FastMem after promotion")
 	}
-	if os.Page(newPfn).Tag != tag {
+	if os.PageView(newPfn).Tag != tag {
 		t.Fatal("migration corrupted page contents")
 	}
 	// Invalid candidates are skipped.
@@ -397,7 +397,7 @@ func TestPromotePageValidityChecks(t *testing.T) {
 	}
 	var ptPFN PFN
 	for p := PFN(0); p < PFN(os.NumPFNs()); p++ {
-		if os.Page(p).Kind == KindPageTable {
+		if os.PageView(p).Kind == KindPageTable {
 			ptPFN = p
 			break
 		}
@@ -520,7 +520,7 @@ func TestTransparentGuestSingleNode(t *testing.T) {
 	// Transparent migration: swap a page's backing MFN to the other tier
 	// (the machine keeps spare frames beyond the boot reservation).
 	pfn, _ := os.AS.Translate(vma.Start)
-	old := os.Page(pfn).MFN
+	old := os.PageView(pfn).MFN
 	target := src.m.TierOf(old).Other()
 	newMFN, err2 := src.m.AllocOne(target, 1)
 	if err2 != nil {
@@ -565,9 +565,60 @@ func TestTrackingListCoversResidentAnon(t *testing.T) {
 		t.Fatalf("tracking list has %d pages, want 40", len(list))
 	}
 	for _, pfn := range list {
-		if os.Page(pfn).Kind != KindAnon {
+		if os.PageView(pfn).Kind != KindAnon {
 			t.Fatal("exception-listed kind in tracking list")
 		}
+	}
+}
+
+// TestTrackingListCacheInvalidation: TrackingList caches the VMA-walk
+// export against the address space's mapping generation; any mutation
+// that can change a translation — mmap, a populating touch, munmap —
+// must invalidate it, and a no-mutation repeat call must serve the
+// cache (no re-walk, same backing buffer).
+func TestTrackingListCacheInvalidation(t *testing.T) {
+	os, _ := testOS(t, heapODPlacement(), 1024, 4096, 512, 1024)
+	vma, _ := os.AS.Mmap(64, KindAnon, NilFile)
+	for i := 0; i < 10; i++ {
+		os.TouchVPN(vma.Start+VPN(i), 1, 0)
+	}
+
+	first := os.TrackingList()
+	if len(first) != 10 {
+		t.Fatalf("tracking list has %d pages, want 10", len(first))
+	}
+	gen := os.AS.mapGen
+	again := os.TrackingList()
+	if os.AS.mapGen != gen {
+		t.Fatal("repeat TrackingList bumped the mapping generation")
+	}
+	if &again[0] != &first[0] || len(again) != len(first) {
+		t.Fatal("repeat call with no mutations did not serve the cache")
+	}
+
+	// A populating touch maps a new page: the list must grow.
+	os.TouchVPN(vma.Start+VPN(10), 1, 0)
+	if os.AS.mapGen == gen {
+		t.Fatal("populate did not bump the mapping generation")
+	}
+	if got := os.TrackingList(); len(got) != 11 {
+		t.Fatalf("after populate: tracking list has %d pages, want 11", len(got))
+	}
+
+	// A new mapping (even before any touch) invalidates; its first
+	// touched page must appear.
+	vma2, _ := os.AS.Mmap(4, KindAnon, NilFile)
+	os.TouchVPN(vma2.Start, 1, 0)
+	if got := os.TrackingList(); len(got) != 12 {
+		t.Fatalf("after second mmap+touch: tracking list has %d pages, want 12", len(got))
+	}
+
+	// Munmap drops the region's pages from the export.
+	if err := os.AS.Munmap(vma2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := os.TrackingList(); len(got) != 11 {
+		t.Fatalf("after munmap: tracking list has %d pages, want 11", len(got))
 	}
 }
 
@@ -669,8 +720,8 @@ func TestExceptionListComplementsTracking(t *testing.T) {
 		t.Fatal("heap pages must be tracked")
 	}
 	for _, pfn := range os.TrackingList() {
-		if excluded[os.Page(pfn).Kind] {
-			t.Fatalf("exception-listed kind %v appears in tracking list", os.Page(pfn).Kind)
+		if excluded[os.PageView(pfn).Kind] {
+			t.Fatalf("exception-listed kind %v appears in tracking list", os.PageView(pfn).Kind)
 		}
 	}
 }

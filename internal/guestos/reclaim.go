@@ -60,8 +60,8 @@ walk:
 			}
 			continue
 		}
-		p := o.store.Page(pfn)
-		if p.Has(FlagAccessed) {
+		st := o.store
+		if st.Has(pfn, FlagAccessed) {
 			l.RotateInactive(pfn)
 			rotations++
 			continue
@@ -77,7 +77,7 @@ walk:
 		if o.Window.OverallMissRatio() > 0.5 {
 			guard = 0
 		}
-		if p.LastUse+guard >= o.epoch && o.epoch >= 2 {
+		if st.LastUse(pfn)+guard >= o.epoch && o.epoch >= 2 {
 			l.RotateInactive(pfn)
 			rotations++
 			continue
@@ -87,12 +87,12 @@ walk:
 		// undoing the migrator's work would waste both moves. The gray
 		// zone below stays reclaimable so allocation placement never
 		// starves. (ScanHeat is zero outside coordinated mode.)
-		if p.ScanHeat >= 6 {
+		if st.ScanHeat(pfn) >= 6 {
 			l.RotateInactive(pfn)
 			rotations++
 			continue
 		}
-		switch p.Kind {
+		switch kind := st.Kind(pfn); kind {
 		case KindPageCache:
 			if o.evictCachePage(pfn) {
 				freed++
@@ -118,7 +118,7 @@ walk:
 		default:
 			// Slab/netbuf/pagetable pages are not on the LRU; seeing one
 			// here is a bug.
-			panic(fmt.Sprintf("guestos: kind %v page %d on LRU", p.Kind, pfn))
+			panic(fmt.Sprintf("guestos: kind %v page %d on LRU", kind, pfn))
 		}
 	}
 	if o.obs != nil {
@@ -138,8 +138,7 @@ walk:
 // evictCachePage drops a page-cache page, writing it back first when
 // dirty. Returns false if the page is pinned.
 func (o *OS) evictCachePage(pfn PFN) bool {
-	p := o.store.Page(pfn)
-	if p.Has(FlagPinned) {
+	if o.store.Has(pfn, FlagPinned) {
 		return false
 	}
 	if !o.PC.Owns(uint64(pfn)) {
@@ -172,14 +171,15 @@ func (o *OS) demoteAnonPage(pfn PFN) bool {
 // (Section 4.1): the page must be movable, still in use, mapped (for
 // anon), and not a dirty or short-lived I/O page.
 func (o *OS) PromotePage(pfn PFN) bool {
-	p := o.store.Page(pfn)
+	st := o.store
+	kind := st.Kind(pfn)
 	switch {
-	case p.Kind == KindFree,
-		!p.Kind.Movable(),
-		p.Has(FlagPinned),
-		p.Kind == KindAnon && p.VPN == NilVPN,
-		p.Kind == KindPageCache && o.PC.Dirty(uint64(pfn)),
-		p.Kind == KindNetBuf || p.Kind == KindSlab: // slabs are not remappable per page
+	case kind == KindFree,
+		!kind.Movable(),
+		st.Has(pfn, FlagPinned),
+		kind == KindAnon && st.VPN(pfn) == NilVPN,
+		kind == KindPageCache && o.PC.Dirty(uint64(pfn)),
+		kind == KindNetBuf || kind == KindSlab: // slabs are not remappable per page
 		o.ep.MigrationsSkipped++
 		return false
 	}
@@ -195,21 +195,22 @@ func (o *OS) PromotePage(pfn PFN) bool {
 // same validity checks as PromotePage apply; clean page-cache pages are
 // moved (not dropped — they may still be re-read).
 func (o *OS) DemotePage(pfn PFN) bool {
-	p := o.store.Page(pfn)
+	st := o.store
+	kind := st.Kind(pfn)
 	switch {
-	case p.Kind == KindFree,
-		!p.Kind.Movable(),
-		p.Has(FlagPinned),
-		p.Kind == KindAnon && p.VPN == NilVPN,
-		p.Kind == KindPageCache && o.PC.Dirty(uint64(pfn)),
-		p.Kind == KindNetBuf || p.Kind == KindSlab:
+	case kind == KindFree,
+		!kind.Movable(),
+		st.Has(pfn, FlagPinned),
+		kind == KindAnon && st.VPN(pfn) == NilVPN,
+		kind == KindPageCache && o.PC.Dirty(uint64(pfn)),
+		kind == KindNetBuf || kind == KindSlab:
 		o.ep.MigrationsSkipped++
 		return false
 	}
 	// OS-side knowledge the VMM lacks: the page may look cold to the
 	// tracker (newly mapped, not yet scanned) while the guest knows it
 	// was just used. Refuse to demote recently-used pages.
-	if p.LastUse+2 >= o.epoch && o.epoch >= 2 {
+	if st.LastUse(pfn)+2 >= o.epoch && o.epoch >= 2 {
 		o.ep.MigrationsSkipped++
 		return false
 	}
@@ -225,14 +226,15 @@ func (o *OS) DemotePage(pfn PFN) bool {
 // keeps every validity check but skips the recency guard: the caller's
 // score margin, not staleness, justified the swap.
 func (o *OS) DemotePageForSwap(pfn PFN) bool {
-	p := o.store.Page(pfn)
+	st := o.store
+	kind := st.Kind(pfn)
 	switch {
-	case p.Kind == KindFree,
-		!p.Kind.Movable(),
-		p.Has(FlagPinned),
-		p.Kind == KindAnon && p.VPN == NilVPN,
-		p.Kind == KindPageCache && o.PC.Dirty(uint64(pfn)),
-		p.Kind == KindNetBuf || p.Kind == KindSlab:
+	case kind == KindFree,
+		!kind.Movable(),
+		st.Has(pfn, FlagPinned),
+		kind == KindAnon && st.VPN(pfn) == NilVPN,
+		kind == KindPageCache && o.PC.Dirty(uint64(pfn)),
+		kind == KindNetBuf || kind == KindSlab:
 		o.ep.MigrationsSkipped++
 		return false
 	}
@@ -267,32 +269,34 @@ func (o *OS) movePageAcrossNodes(pfn PFN, target memsim.Tier, promotion bool) bo
 		}
 	}
 	newPfn := PFN(raw)
-	src := o.store.Page(pfn)
-	dstPg := o.store.Page(newPfn)
-	if dstPg.Kind != KindFree {
+	st := o.store
+	if st.Kind(newPfn) != KindFree {
 		panic(fmt.Sprintf("guestos: migration target %d busy", newPfn))
 	}
 
 	// Copy metadata + contents.
-	dstPg.Kind = src.Kind
-	dstPg.Flags = src.Flags &^ (FlagOnLRU | FlagActive)
-	dstPg.VPN = src.VPN
-	dstPg.File = src.File
-	dstPg.FileOff = src.FileOff
-	dstPg.LastUse = src.LastUse
-	dstPg.Heat = src.Heat
+	kind := st.Kind(pfn)
+	vpn := st.VPN(pfn)
+	tag := st.Tag(pfn)
+	st.SetKind(newPfn, kind)
+	st.SetAllFlags(newPfn, st.Flags(pfn)&^(FlagOnLRU|FlagActive))
+	st.SetVPN(newPfn, vpn)
+	st.SetFile(newPfn, st.File(pfn))
+	st.SetFileOff(newPfn, st.FileOff(pfn))
+	st.SetLastUse(newPfn, st.LastUse(pfn))
+	st.SetHeat(newPfn, st.Heat(pfn))
 	// The scanner's hotness history is biased at migration time:
 	// promoted pages arrive presumed-hot and demoted pages presumed-cold,
 	// so neither becomes an immediate candidate to move back. Fresh scan
 	// evidence then takes over.
 	if promotion {
-		dstPg.ScanHeat = 8
+		st.SetScanHeat(newPfn, 8)
 	} else {
-		dstPg.ScanHeat = 0
+		st.SetScanHeat(newPfn, 0)
 	}
-	dstPg.ScanWriteHeat = src.ScanWriteHeat
-	dstPg.Tag = src.Tag
-	o.Cum.AllocsByKind[dstPg.Kind]++
+	st.SetScanWriteHeat(newPfn, st.ScanWriteHeat(pfn))
+	st.SetTag(newPfn, tag)
+	o.Cum.AllocsByKind[kind]++
 	// The destination frame was taken straight off the per-CPU list,
 	// bypassing initPage, and its scan history was written directly: the
 	// indexer must hear both transitions itself.
@@ -302,25 +306,25 @@ func (o *OS) movePageAcrossNodes(pfn PFN, target memsim.Tier, promotion bool) bo
 	}
 
 	// Transfer identity.
-	switch src.Kind {
+	switch kind {
 	case KindAnon:
-		if src.VPN != NilVPN {
-			o.AS.unmapPage(src.VPN)
-			o.AS.mapPage(src.VPN, newPfn)
+		if vpn != NilVPN {
+			o.AS.unmapPage(vpn)
+			o.AS.mapPage(vpn, newPfn)
 		}
 	case KindPageCache:
 		o.PC.Rekey(uint64(pfn), uint64(newPfn))
-		if src.VPN != NilVPN {
-			o.AS.unmapPage(src.VPN)
-			o.AS.mapPage(src.VPN, newPfn)
+		if vpn != NilVPN {
+			o.AS.unmapPage(vpn)
+			o.AS.mapPage(vpn, newPfn)
 		}
 	default:
-		panic(fmt.Sprintf("guestos: migrating unsupported kind %v", src.Kind))
+		panic(fmt.Sprintf("guestos: migrating unsupported kind %v", kind))
 	}
 
 	// LRU transfer: promotions arrive hot (active), demotions cold.
-	wasActive := src.Has(FlagActive)
-	if src.Has(FlagOnLRU) {
+	wasActive := st.Has(pfn, FlagActive)
+	if st.Has(pfn, FlagOnLRU) {
 		o.lrus[srcIdx].Remove(pfn)
 	}
 	o.lrus[dstIdx].Insert(newPfn)
@@ -332,8 +336,7 @@ func (o *OS) movePageAcrossNodes(pfn PFN, target memsim.Tier, promotion bool) bo
 
 	// Free the source frame (identity already moved; clear VPN so
 	// freePage does not try to unmap again).
-	src.VPN = NilVPN
-	src.Kind = dstPg.Kind // keep census sane through the free below
+	st.SetVPN(pfn, NilVPN)
 	o.freePage(pfn)
 
 	o.ep.OSTimeNs += o.costs.MigratePageWalkNs + o.costs.MigratePageCopyNs
@@ -341,12 +344,12 @@ func (o *OS) movePageAcrossNodes(pfn PFN, target memsim.Tier, promotion bool) bo
 	if promotion {
 		o.ep.Promotions++
 		o.promoteRing = append(o.promoteRing, admitSample{
-			pfn: newPfn, tag: dstPg.Tag, epoch: o.epoch})
+			pfn: newPfn, tag: tag, epoch: o.epoch})
 	} else {
 		o.ep.Demotions++
 		if len(o.demoteRing) < 4096 {
 			o.demoteRing = append(o.demoteRing, admitSample{
-				pfn: newPfn, tag: dstPg.Tag, epoch: o.epoch})
+				pfn: newPfn, tag: tag, epoch: o.epoch})
 		}
 	}
 	if o.obs != nil {
@@ -374,22 +377,22 @@ const migrationTLBBatch = 64
 
 // swapOutPage writes an anonymous page to swap and frees its frame.
 func (o *OS) swapOutPage(pfn PFN) bool {
-	p := o.store.Page(pfn)
-	if p.Kind != KindAnon || p.Has(FlagPinned) {
+	st := o.store
+	if st.Kind(pfn) != KindAnon || st.Has(pfn, FlagPinned) {
 		return false
 	}
-	vpn := p.VPN
+	vpn := st.VPN(pfn)
 	if vpn == NilVPN {
 		// Unmapped anon page (mid-teardown): just free it.
 		o.freePage(pfn)
 		return true
 	}
-	o.swap.add(vpn, p.Tag)
+	o.swap.add(vpn, st.Tag(pfn))
 	o.AS.markSwapped(vpn)
 	if v, ok := o.AS.FindVMA(vpn); ok {
 		v.Resident--
 	}
-	p.VPN = NilVPN
+	st.SetVPN(pfn, NilVPN)
 	o.freePage(pfn)
 	o.ep.SwapOuts++
 	o.ep.OSTimeNs += o.costs.SwapPageNs
@@ -429,8 +432,8 @@ func (o *OS) eagerEvictIOPages() {
 		if pfn == NilPFN {
 			break
 		}
-		p := o.store.Page(pfn)
-		if p.Kind != KindPageCache || p.Has(FlagAccessed) || p.LastUse+3 >= o.epoch {
+		st := o.store
+		if st.Kind(pfn) != KindPageCache || st.Has(pfn, FlagAccessed) || st.LastUse(pfn)+3 >= o.epoch {
 			// Not an idle I/O page; rotate so the walk can continue past it.
 			l.RotateInactive(pfn)
 			continue
@@ -440,7 +443,7 @@ func (o *OS) eagerEvictIOPages() {
 		// buffers "can be demoted to large-but-slowest memory"
 		// (Section 4.3). Dirty or unmovable pages, or a full SlowMem,
 		// fall back to eviction.
-		if !p.Has(FlagPinned) && !o.PC.Dirty(uint64(pfn)) &&
+		if !st.Has(pfn, FlagPinned) && !o.PC.Dirty(uint64(pfn)) &&
 			o.Node(memsim.SlowMem).FreePages() > 0 && o.demoteAnonOrCachePage(pfn) {
 			evicted++
 			continue

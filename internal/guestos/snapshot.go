@@ -196,6 +196,9 @@ func (o *OS) RestoreState(d *snapshot.Decoder) error {
 	o.admitSeen = d.Int()
 	o.promoteSeen = d.Int()
 	o.demoteSeen = d.Int()
+	// The mapping generation is not serialized; the restored address
+	// space starts a fresh count, so drop any cached tracking list.
+	o.trackValid = false
 	return d.Err()
 }
 
@@ -220,70 +223,118 @@ func restoreRing(d *snapshot.Decoder) []admitSample {
 	return ring
 }
 
-// defaultPage is the page store's boot-time value for every frame; pages
-// still equal to it are omitted from the snapshot.
-var defaultPage = Page{MFN: memsim.NilMFN, VPN: NilVPN, lruPrev: NilPFN, lruNext: NilPFN}
-
-// snapshotStore emits the page store sparsely: only frames whose
-// metadata differs from the boot-time default, keyed by PFN.
+// snapshotStore emits the page store sparsely and columnar (format v2):
+// only frames whose metadata differs from the boot-time default, as a
+// PFN list followed by one array per field in the PFN list's order. The
+// column layout mirrors the in-memory struct-of-arrays store; flags are
+// materialized into the legacy PageFlags word so bitmap packing stays a
+// private representation detail.
 func (o *OS) snapshotStore(e *snapshot.Encoder) {
-	e.U64(o.store.Len())
-	var count uint32
-	for pfn := PFN(0); pfn < PFN(o.store.Len()); pfn++ {
-		if *o.store.Page(pfn) != defaultPage {
-			count++
+	st := o.store
+	e.U64(st.Len())
+	pfns := make([]PFN, 0, 1024)
+	for pfn := PFN(0); pfn < PFN(st.Len()); pfn++ {
+		if !st.IsDefault(pfn) {
+			pfns = append(pfns, pfn)
 		}
 	}
-	e.U32(count)
-	for pfn := PFN(0); pfn < PFN(o.store.Len()); pfn++ {
-		p := o.store.Page(pfn)
-		if *p == defaultPage {
-			continue
-		}
+	e.U32(uint32(len(pfns)))
+	for _, pfn := range pfns {
 		e.U64(uint64(pfn))
-		e.U64(uint64(p.MFN))
-		e.U8(uint8(p.Kind))
-		e.U16(uint16(p.Flags))
-		e.U64(uint64(p.VPN))
-		e.U32(uint32(p.File))
-		e.U64(p.FileOff)
-		e.U64(uint64(p.lruPrev))
-		e.U64(uint64(p.lruNext))
-		e.U32(p.LastUse)
-		e.U32(p.Heat)
-		e.U8(p.ScanHeat)
-		e.U8(p.ScanWriteHeat)
-		e.U64(p.Tag)
+	}
+	for _, pfn := range pfns {
+		e.U64(uint64(st.MFN(pfn)))
+	}
+	for _, pfn := range pfns {
+		e.U8(uint8(st.Kind(pfn)))
+	}
+	for _, pfn := range pfns {
+		e.U16(uint16(st.Flags(pfn)))
+	}
+	for _, pfn := range pfns {
+		e.U64(uint64(st.VPN(pfn)))
+	}
+	for _, pfn := range pfns {
+		e.U32(uint32(st.File(pfn)))
+	}
+	for _, pfn := range pfns {
+		e.U64(st.FileOff(pfn))
+	}
+	for _, pfn := range pfns {
+		e.U64(uint64(st.LRUPrev(pfn)))
+	}
+	for _, pfn := range pfns {
+		e.U64(uint64(st.LRUNext(pfn)))
+	}
+	for _, pfn := range pfns {
+		e.U32(st.LastUse(pfn))
+	}
+	for _, pfn := range pfns {
+		e.U32(st.Heat(pfn))
+	}
+	for _, pfn := range pfns {
+		e.U8(st.ScanHeat(pfn))
+	}
+	for _, pfn := range pfns {
+		e.U8(st.ScanWriteHeat(pfn))
+	}
+	for _, pfn := range pfns {
+		e.U64(st.Tag(pfn))
 	}
 }
 
 func (o *OS) restoreStore(d *snapshot.Decoder) error {
-	if n := d.U64(); n != o.store.Len() {
-		return fmt.Errorf("guestos: snapshot store spans %d frames, OS has %d", n, o.store.Len())
+	st := o.store
+	if n := d.U64(); n != st.Len() {
+		return fmt.Errorf("guestos: snapshot store spans %d frames, OS has %d", n, st.Len())
 	}
-	for i := range o.store.pages {
-		o.store.pages[i] = defaultPage
-	}
-	count := int(d.U32())
-	for i := 0; i < count; i++ {
+	st.ResetAll()
+	pfns := make([]PFN, int(d.U32()))
+	for i := range pfns {
 		pfn := d.U64()
-		if pfn >= o.store.Len() {
+		if pfn >= st.Len() {
 			return fmt.Errorf("guestos: snapshot page %d outside store", pfn)
 		}
-		p := o.store.Page(PFN(pfn))
-		p.MFN = memsim.MFN(d.U64())
-		p.Kind = PageKind(d.U8())
-		p.Flags = PageFlags(d.U16())
-		p.VPN = VPN(d.U64())
-		p.File = FileID(d.U32())
-		p.FileOff = d.U64()
-		p.lruPrev = PFN(d.U64())
-		p.lruNext = PFN(d.U64())
-		p.LastUse = d.U32()
-		p.Heat = d.U32()
-		p.ScanHeat = d.U8()
-		p.ScanWriteHeat = d.U8()
-		p.Tag = d.U64()
+		pfns[i] = PFN(pfn)
+	}
+	for _, pfn := range pfns {
+		st.SetMFN(pfn, memsim.MFN(d.U64()))
+	}
+	for _, pfn := range pfns {
+		st.SetKind(pfn, PageKind(d.U8()))
+	}
+	for _, pfn := range pfns {
+		st.SetAllFlags(pfn, PageFlags(d.U16()))
+	}
+	for _, pfn := range pfns {
+		st.SetVPN(pfn, VPN(d.U64()))
+	}
+	for _, pfn := range pfns {
+		st.SetFile(pfn, FileID(d.U32()))
+	}
+	for _, pfn := range pfns {
+		st.SetFileOff(pfn, d.U64())
+	}
+	for _, pfn := range pfns {
+		st.lruPrev[pfn] = PFN(d.U64())
+	}
+	for _, pfn := range pfns {
+		st.lruNext[pfn] = PFN(d.U64())
+	}
+	for _, pfn := range pfns {
+		st.SetLastUse(pfn, d.U32())
+	}
+	for _, pfn := range pfns {
+		st.SetHeat(pfn, d.U32())
+	}
+	for _, pfn := range pfns {
+		st.SetScanHeat(pfn, d.U8())
+	}
+	for _, pfn := range pfns {
+		st.SetScanWriteHeat(pfn, d.U8())
+	}
+	for _, pfn := range pfns {
+		st.SetTag(pfn, d.U64())
 	}
 	return d.Err()
 }

@@ -37,7 +37,25 @@ import (
 
 // Version is the current snapshot format version. Readers reject any
 // other version outright: state layout changes must bump it.
-const Version = 1
+//
+// History:
+//
+//	1: original row-oriented guest page store section.
+//	2: columnar (struct-of-arrays) guest page store section — one
+//	   sorted PFN list followed by per-field arrays.
+const Version = 2
+
+// VersionError is returned by Open when the file's format version does
+// not match Version. Callers can detect it with errors.As to tell a
+// stale-but-valid snapshot apart from a corrupt one.
+type VersionError struct {
+	Got, Want uint32
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("snapshot: unsupported format version %d (this build reads version %d; re-create the snapshot with the current binary)",
+		e.Got, e.Want)
+}
 
 // magic identifies a HeteroOS snapshot file.
 var magic = [8]byte{'H', 'O', 'S', 'N', 'A', 'P', '1', '\n'}
@@ -387,7 +405,7 @@ func Open(r io.Reader) (*Reader, error) {
 	}
 	ver := binary.LittleEndian.Uint32(all[len(magic) : len(magic)+4])
 	if ver != Version {
-		return nil, fmt.Errorf("snapshot: unsupported format version %d (want %d)", ver, Version)
+		return nil, &VersionError{Got: ver, Want: Version}
 	}
 	body := all[len(magic)+4:]
 	rd := &Reader{sections: make(map[string][]byte)}

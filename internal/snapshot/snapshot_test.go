@@ -3,7 +3,9 @@ package snapshot
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"math"
+	"os"
 	"strings"
 	"testing"
 )
@@ -174,6 +176,33 @@ func TestOpenRejectsCorruption(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
 			}
 		})
+	}
+}
+
+// TestOpenRejectsV1Fixture: a committed version-1 era snapshot must be
+// refused with a typed VersionError — never a panic or a misleading
+// corruption message — so users with stale checkpoints get told to
+// re-create them.
+func TestOpenRejectsV1Fixture(t *testing.T) {
+	raw, err := os.ReadFile("testdata/v1-empty.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("v1 snapshot opened cleanly under a v2 reader")
+	}
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error %q is not a *VersionError", err)
+	}
+	if ve.Got != 1 || ve.Want != Version {
+		t.Fatalf("VersionError{Got:%d, Want:%d}, expected Got=1 Want=%d", ve.Got, ve.Want, Version)
+	}
+	for _, sub := range []string{"version 1", "re-create"} {
+		if !strings.Contains(err.Error(), sub) {
+			t.Fatalf("error %q does not mention %q", err, sub)
+		}
 	}
 }
 

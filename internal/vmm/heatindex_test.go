@@ -266,14 +266,14 @@ func (v *stubView) TestAndClearAccessed(pfn guestos.PFN) bool {
 	v.scanned = append(v.scanned, pfn)
 	return false
 }
-func (v *stubView) Snapshot(pfn guestos.PFN) guestos.PageSnapshot  { return guestos.PageSnapshot{} }
-func (v *stubView) SetBackingMFN(pfn guestos.PFN, mfn memsim.MFN)  {}
-func (v *stubView) TrackingList() []guestos.PFN                    { return nil }
-func (v *stubView) ScanHeat(pfn guestos.PFN) uint8                 { return v.heat[pfn] }
-func (v *stubView) SetScanHeat(pfn guestos.PFN, h uint8)           { v.heat[pfn] = h }
-func (v *stubView) TestAndClearWritten(pfn guestos.PFN) bool       { return false }
-func (v *stubView) ScanWriteHeat(pfn guestos.PFN) uint8            { return v.wheat[pfn] }
-func (v *stubView) SetScanWriteHeat(pfn guestos.PFN, h uint8)      { v.wheat[pfn] = h }
+func (v *stubView) Snapshot(pfn guestos.PFN) guestos.PageSnapshot { return guestos.PageSnapshot{} }
+func (v *stubView) SetBackingMFN(pfn guestos.PFN, mfn memsim.MFN) {}
+func (v *stubView) TrackingList() []guestos.PFN                   { return nil }
+func (v *stubView) ScanHeat(pfn guestos.PFN) uint8                { return v.heat[pfn] }
+func (v *stubView) SetScanHeat(pfn guestos.PFN, h uint8)          { v.heat[pfn] = h }
+func (v *stubView) TestAndClearWritten(pfn guestos.PFN) bool      { return false }
+func (v *stubView) ScanWriteHeat(pfn guestos.PFN) uint8           { return v.wheat[pfn] }
+func (v *stubView) SetScanWriteHeat(pfn guestos.PFN, h uint8)     { v.wheat[pfn] = h }
 
 // TestScanTrackedRotation verifies that the tracked-list cursor is a
 // list position: batches rotate through the whole list, and when the

@@ -1,6 +1,7 @@
 package vmm
 
 import (
+	"math/bits"
 	"sort"
 
 	"heteroos/internal/guestos"
@@ -66,8 +67,13 @@ type ScanResult struct {
 // (exponential decay of access-bit samples), mirroring HeteroVisor's
 // batched tracking with a VMM-level reverse map.
 type Scanner struct {
-	view  GuestView
-	costs ScanCosts
+	view GuestView
+	// wordView is view's word-at-a-time fast path, set when the view's
+	// access bits live in packed bitmaps (nil otherwise). ScanNext and
+	// ScanTracked then consume 64 pages' bits per load, skipping words
+	// with no state to fold, with per-page scan-cost charging unchanged.
+	wordView WordScanView
+	costs    ScanCosts
 	// cursor for full-span batched scanning (VMM-exclusive mode).
 	cursor uint64
 	// trackedPos is the rotation cursor for ScanTracked, carried as a
@@ -113,8 +119,10 @@ type Scanner struct {
 
 // NewScanner builds a scanner over view.
 func NewScanner(view GuestView, costs ScanCosts) *Scanner {
+	wv, _ := view.(WordScanView)
 	return &Scanner{
 		view:          view,
+		wordView:      wv,
 		costs:         costs,
 		BatchPages:    32 * 1024,
 		HotThreshold:  4,
@@ -144,12 +152,15 @@ func (s *Scanner) Heat(pfn guestos.PFN) uint8 { return s.view.ScanHeat(pfn) }
 
 // score combines read heat with (optionally boosted) write heat: on
 // asymmetric SlowMem a store-heavy page earns more from FastMem than an
-// equally-referenced load-heavy one.
+// equally-referenced load-heavy one. Without an active write boost the
+// score is the raw heat byte — returned directly so the per-page hot
+// path (rankIn sweeps, heat-index bucketing) does no float conversion.
 func (s *Scanner) score(pfn guestos.PFN) uint8 {
-	h := float64(s.view.ScanHeat(pfn))
-	if s.TrackWrites && s.WriteBoost > 0 {
-		h += s.WriteBoost * float64(s.view.ScanWriteHeat(pfn))
+	if !s.TrackWrites || s.WriteBoost <= 0 {
+		return s.view.ScanHeat(pfn)
 	}
+	h := float64(s.view.ScanHeat(pfn))
+	h += s.WriteBoost * float64(s.view.ScanWriteHeat(pfn))
 	if h > 255 {
 		h = 255
 	}
@@ -160,7 +171,9 @@ func (s *Scanner) score(pfn guestos.PFN) uint8 {
 func (s *Scanner) Hot(pfn guestos.PFN) bool { return s.Heat(pfn) >= s.HotThreshold }
 
 // ScanNext scans the next BatchPages of the whole guest span
-// (VMM-exclusive mode: "tracking the entire guest-VM's memory").
+// (VMM-exclusive mode: "tracking the entire guest-VM's memory"). With a
+// word-capable view the pass consumes access bits 64 pages at a time;
+// either way the simulated cost is charged per page scanned.
 func (s *Scanner) ScanNext() ScanResult {
 	n := uint64(s.BatchPages)
 	span := s.view.NumPFNs()
@@ -168,17 +181,34 @@ func (s *Scanner) ScanNext() ScanResult {
 		n = span
 	}
 	var res ScanResult
-	for i := uint64(0); i < n; i++ {
-		pfn := guestos.PFN(s.cursor)
-		s.cursor++
-		if s.cursor >= span {
-			s.cursor = 0
+	if s.wordView != nil {
+		// The batch may wrap the span end; scan each contiguous run.
+		for remaining := n; remaining > 0; {
+			start := s.cursor
+			end := start + remaining
+			if end > span {
+				end = span
+			}
+			s.scanRangeWords(&res, start, end)
+			remaining -= end - start
+			s.cursor = end
+			if s.cursor >= span {
+				s.cursor = 0
+			}
 		}
-		ref := s.view.TestAndClearAccessed(pfn)
-		s.sample(pfn, ref)
-		res.Scanned++
-		if ref {
-			res.Referenced++
+	} else {
+		for i := uint64(0); i < n; i++ {
+			pfn := guestos.PFN(s.cursor)
+			s.cursor++
+			if s.cursor >= span {
+				s.cursor = 0
+			}
+			ref := s.view.TestAndClearAccessed(pfn)
+			s.sample(pfn, ref)
+			res.Scanned++
+			if ref {
+				res.Referenced++
+			}
 		}
 	}
 	res.CostNs = s.scanCost(res.Scanned)
@@ -186,6 +216,61 @@ func (s *Scanner) ScanNext() ScanResult {
 		s.obs.record(res, obs.DirFull)
 	}
 	return res
+}
+
+// scanRangeWords scans PFNs [start, end) through the word view: one
+// masked load per 64-page word, folding heat only for pages with state
+// to fold (a set access bit, or nonzero heat still decaying — all other
+// pages' samples are no-ops by construction). Scanned/Referenced
+// accounting matches the per-page path exactly.
+func (s *Scanner) scanRangeWords(res *ScanResult, start, end uint64) {
+	for w := int(start >> 6); w <= int((end-1)>>6); w++ {
+		base := uint64(w) << 6
+		lo := uint64(0)
+		if start > base {
+			lo = start - base
+		}
+		mask := ^uint64(0) << lo
+		if hi := end - base; hi < 64 {
+			mask &= 1<<hi - 1
+		}
+		s.scanWordMasked(res, w, mask)
+	}
+}
+
+// scanWordMasked performs one word-granular scan step over the pages
+// selected by mask in word w.
+func (s *Scanner) scanWordMasked(res *ScanResult, w int, mask uint64) {
+	wv := s.wordView
+	res.Scanned += bits.OnesCount64(mask)
+	ref := wv.TakeScanAccessedWord(w, mask)
+	res.Referenced += bits.OnesCount64(ref)
+	// work is the set of pages whose heat state can change this pass.
+	work := ref | wv.ScanHeatNonzeroWord(w, mask)
+	var written uint64
+	if s.TrackWrites {
+		written = wv.TakeScanWrittenWord(w, mask)
+		work |= written | wv.ScanWriteHeatNonzeroWord(w, mask)
+	}
+	base := uint64(w) << 6
+	for work != 0 {
+		b := uint(bits.TrailingZeros64(work))
+		bit := uint64(1) << b
+		work &^= bit
+		pfn := guestos.PFN(base + uint64(b))
+		h := s.view.ScanHeat(pfn) >> 1
+		if ref&bit != 0 {
+			h += 4
+		}
+		s.view.SetScanHeat(pfn, h)
+		if s.TrackWrites {
+			wh := s.view.ScanWriteHeat(pfn) >> 1
+			if written&bit != 0 {
+				wh += 4
+			}
+			s.view.SetScanWriteHeat(pfn, wh)
+		}
+	}
 }
 
 // ScanTracked scans only the guest-exported tracking list (coordinated
@@ -208,13 +293,17 @@ func (s *Scanner) ScanTracked(tracked []guestos.PFN) ScanResult {
 		s.trackedPos %= n
 	}
 	start := s.trackedPos
-	for i := 0; i < limit; i++ {
-		pfn := tracked[(start+i)%n]
-		ref := s.view.TestAndClearAccessed(pfn)
-		s.sample(pfn, ref)
-		res.Scanned++
-		if ref {
-			res.Referenced++
+	if s.wordView != nil {
+		s.scanTrackedWords(&res, tracked, start, limit)
+	} else {
+		for i := 0; i < limit; i++ {
+			pfn := tracked[(start+i)%n]
+			ref := s.view.TestAndClearAccessed(pfn)
+			s.sample(pfn, ref)
+			res.Scanned++
+			if ref {
+				res.Referenced++
+			}
 		}
 	}
 	s.trackedPos = (start + limit) % n
@@ -223,6 +312,34 @@ func (s *Scanner) ScanTracked(tracked []guestos.PFN) ScanResult {
 		s.obs.record(res, obs.DirTracked)
 	}
 	return res
+}
+
+// scanTrackedWords batches adjacent tracked entries that share a 64-page
+// word into one masked scan step. Tracking lists are built by ascending
+// VMA walks, so runs of neighbours are the common case. The merge never
+// reorders or coalesces a repeated PFN: a bit already in the pending
+// mask ends the group, so each list entry is scanned (and heat-folded)
+// exactly as many times, in the same order, as the per-page path would.
+func (s *Scanner) scanTrackedWords(res *ScanResult, tracked []guestos.PFN, start, limit int) {
+	n := len(tracked)
+	curWord := -1
+	var curMask uint64
+	for i := 0; i < limit; i++ {
+		pfn := tracked[(start+i)%n]
+		w := int(pfn >> 6)
+		bit := uint64(1) << (pfn & 63)
+		if w == curWord && curMask&bit == 0 {
+			curMask |= bit
+			continue
+		}
+		if curWord >= 0 {
+			s.scanWordMasked(res, curWord, curMask)
+		}
+		curWord, curMask = w, bit
+	}
+	if curWord >= 0 {
+		s.scanWordMasked(res, curWord, curMask)
+	}
 }
 
 func (s *Scanner) scanCost(pages int) float64 {

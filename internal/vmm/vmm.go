@@ -53,6 +53,34 @@ type GuestView interface {
 	SetScanWriteHeat(pfn guestos.PFN, h uint8)
 }
 
+// WordScanView is the optional word-at-a-time extension of GuestView:
+// views whose access bits live in packed bitmaps (the struct-of-arrays
+// page store) expose 64 pages' worth per load, and the scanner consumes
+// whole words — skipping all-zero ones — instead of issuing a per-page
+// TestAndClearAccessed. In every method, word w covers PFNs
+// [w*64, w*64+64) and bit i of mask (and of the result) stands for PFN
+// w*64+i. The scanner detects the interface with a type assertion and
+// falls back to the per-page GuestView calls when it is absent.
+type WordScanView interface {
+	// TakeScanAccessedWord returns and clears the scan-accessed bits of
+	// word w under mask (batched test-and-clear).
+	TakeScanAccessedWord(w int, mask uint64) uint64
+	// ScanHeatNonzeroWord reports which pages of word w hold nonzero
+	// scan heat: pages the scan must still visit to decay, even when
+	// unreferenced.
+	ScanHeatNonzeroWord(w int, mask uint64) uint64
+	// TakeScanWrittenWord / ScanWriteHeatNonzeroWord are the write-bit
+	// equivalents, used when write tracking is on.
+	TakeScanWrittenWord(w int, mask uint64) uint64
+	ScanWriteHeatNonzeroWord(w int, mask uint64) uint64
+}
+
+// The guest OS implements both views.
+var (
+	_ GuestView    = (*guestos.OS)(nil)
+	_ WordScanView = (*guestos.OS)(nil)
+)
+
 // VM is the hypervisor's per-guest state.
 type VM struct {
 	Spec    VMSpec
