@@ -28,6 +28,9 @@ race:
 # stdout is byte-identical with and without metrics collection attached
 # (CSV format, so no wall-clock lines differ). Figure 6 sweeps three
 # modes through the runner, exercising the instrumented chokepoints.
+# The second half re-asserts the same for the churn scenario under both
+# machine-model backends (the scenario path wires per-VM scopes and the
+# epoch hook, a different plumbing route than the figure runner).
 obs-parity:
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) run ./cmd/heterobench -exp figure6 -quick -format=csv \
@@ -39,7 +42,21 @@ obs-parity:
 		diff "$$tmp/off.csv" "$$tmp/on.csv"; exit 1; \
 	fi; \
 	test -s "$$tmp/metrics.csv" || { echo "obs-parity: no metrics written"; exit 1; }; \
-	echo "obs-parity: figure output byte-identical with observability on"
+	echo "obs-parity: figure output byte-identical with observability on"; \
+	$(GO) build -o "$$tmp/heterosim" ./cmd/heterosim || exit 1; \
+	for be in analytic coarse; do \
+		"$$tmp/heterosim" -scenario churn.json -backend $$be -format=csv \
+			> "$$tmp/sc-off.csv" || exit 1; \
+		"$$tmp/heterosim" -scenario churn.json -backend $$be -format=csv \
+			-metrics "$$tmp/sc-metrics.csv" \
+			> "$$tmp/sc-on.csv" 2>/dev/null || exit 1; \
+		if ! cmp -s "$$tmp/sc-off.csv" "$$tmp/sc-on.csv"; then \
+			echo "obs-parity: churn/$$be output differs with metrics collection on:"; \
+			diff "$$tmp/sc-off.csv" "$$tmp/sc-on.csv"; exit 1; \
+		fi; \
+		test -s "$$tmp/sc-metrics.csv" || { echo "obs-parity: churn/$$be wrote no metrics"; exit 1; }; \
+		echo "obs-parity: churn/$$be scenario byte-identical with observability on"; \
+	done
 
 # scenario-smoke runs both bundled scenarios end-to-end through the
 # CLI and checks determinism: two runs of the same scenario must print
@@ -135,17 +152,19 @@ check: vet build test race obs-parity scenario-smoke backend-parity \
 # benchstat-grade repetition: save the output before and after a change
 # and compare the two files with benchstat.
 bench:
-	$(GO) test -run=NONE -bench='HottestIn|ColdestIn|HotScan|ScanNext|SweepFigure9|EpochPricing' \
+	$(GO) test -run=NONE -bench='HottestIn|ColdestIn|HotScan|ScanNext|SweepFigure9|EpochPricing|Obs' \
 		-benchmem -count=5 .
 
 # bench-json regenerates the committed perf-trajectory baselines: the
 # analytic-side benchmarks into BENCH_analytic.json, the coarse backend
 # (with its epoch-pricing speedup over analytic) into BENCH_coarse.json,
-# and the word-at-a-time scan (with its speedup over the per-page
-# reference path) into BENCH_scan.json.
+# the word-at-a-time scan (with its speedup over the per-page reference
+# path) into BENCH_scan.json, and the observability aggregation path
+# (direct scope rollup, its speedup over the snapshot merge fold, and
+# the OpenMetrics encoder) into BENCH_obs.json.
 bench-json:
 	@tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
-	$(GO) test -run=NONE -bench='HottestIn|ColdestIn|HotScan|ScanNext|SweepFigure9|EpochPricing' \
+	$(GO) test -run=NONE -bench='HottestIn|ColdestIn|HotScan|ScanNext|SweepFigure9|EpochPricing|Obs' \
 		-benchmem -count=5 . > "$$tmp" || { cat "$$tmp"; exit 1; }; \
 	$(GO) run ./cmd/benchjson -label analytic \
 		-match 'HottestIn|ColdestIn|HotScan|SweepFigure9Workers|EpochPricingAnalytic' \
@@ -158,7 +177,11 @@ bench-json:
 		-match 'ScanNext' \
 		-speedup ScanNextWord=ScanNextRef \
 		< "$$tmp" > BENCH_scan.json || exit 1; \
-	echo "bench-json: wrote BENCH_analytic.json BENCH_coarse.json BENCH_scan.json"
+	$(GO) run ./cmd/benchjson -label obs \
+		-match 'ObsRollup|ObsOpenMetrics' \
+		-speedup ObsRollupDirect=ObsRollupMergeFold \
+		< "$$tmp" > BENCH_obs.json || exit 1; \
+	echo "bench-json: wrote BENCH_analytic.json BENCH_coarse.json BENCH_scan.json BENCH_obs.json"
 
 # bench-guard re-runs the speedup-pair benchmarks and fails if either
 # committed factor regressed more than 5%: coarse-over-analytic epoch
@@ -171,6 +194,8 @@ bench-guard:
 		| $(GO) run ./cmd/benchjson -guard BENCH_coarse.json -tolerance 0.05
 	@$(GO) test -run=NONE -bench='ScanNext' -benchmem -count=3 . \
 		| $(GO) run ./cmd/benchjson -guard BENCH_scan.json -tolerance 0.05
+	@$(GO) test -run=NONE -bench='ObsRollup' -benchmem -count=3 . \
+		| $(GO) run ./cmd/benchjson -guard BENCH_obs.json -tolerance 0.05
 
 # bench-all smoke-runs every benchmark once (artifact regeneration
 # included), trading statistical weight for coverage.

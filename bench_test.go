@@ -14,7 +14,9 @@ package heteroos
 
 import (
 	"context"
+	"io"
 	"runtime"
+	"strings"
 	"testing"
 
 	"heteroos/internal/core"
@@ -686,6 +688,81 @@ func TestInstrumentedChokepointsZeroAlloc(t *testing.T) {
 		fn() // warm scratch buffers
 		if n := testing.AllocsPerRun(100, fn); n != 0 {
 			t.Errorf("%s allocates %v per op with obs attached, want 0", name, n)
+		}
+	}
+}
+
+// --- Observability: scope rollup and OpenMetrics encoding ---
+
+// benchObsRegistry builds one registry shaped like a scenario run:
+// vms per-VM scopes, each with the guest/vmm counter+gauge families and
+// the phase histograms, loaded with n observations per scope.
+func benchObsRegistry(vms, n int) *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("tracer_dropped_events").Add(3)
+	for vm := 0; vm < vms; vm++ {
+		s := r.Scope("vm" + string(rune('0'+vm%10)) + string(rune('a'+vm/10)))
+		promo := s.Counter("guestos.promotions")
+		gauge := s.Gauge("vmm.fast_free_pct")
+		hist := s.Histogram("phase.scan.wall_ns")
+		for i := 0; i < n; i++ {
+			promo.Add(uint64(i & 7))
+			gauge.Set(float64(i))
+			hist.Observe(float64((i*2654435761)&0xfffff + 1))
+		}
+	}
+	return r
+}
+
+// BenchmarkObsRollupDirect rolls up one shared scoped registry's
+// snapshot — the heterosim path, where every VM scope lives in a single
+// registry tree and aggregation is a single canonical pass.
+func BenchmarkObsRollupDirect(b *testing.B) {
+	snap := benchObsRegistry(16, 512).Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rolled := snap.Rollup(); len(rolled.Values) == 0 {
+			b.Fatal("empty rollup")
+		}
+	}
+}
+
+// BenchmarkObsRollupMergeFold aggregates the same series by folding 16
+// independent single-VM snapshots with Merge and rolling up the result
+// — the heterobench cross-cell path. Direct rollup must stay faster:
+// the fold re-sorts and re-copies the accumulated snapshot per merge.
+func BenchmarkObsRollupMergeFold(b *testing.B) {
+	snaps := make([]obs.Snapshot, 16)
+	for i := range snaps {
+		snaps[i] = benchObsRegistry(1, 512).Snapshot()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var merged obs.Snapshot
+		for _, s := range snaps {
+			merged = merged.Merge(s)
+		}
+		if rolled := merged.Rollup(); len(rolled.Values) == 0 {
+			b.Fatal("empty rollup")
+		}
+	}
+}
+
+// BenchmarkObsOpenMetricsEncode renders a scenario-sized snapshot to
+// the OpenMetrics exposition format — the per-scrape cost of the
+// -listen endpoint.
+func BenchmarkObsOpenMetricsEncode(b *testing.B) {
+	snap := benchObsRegistry(16, 512).Snapshot()
+	sink := &obs.OpenMetricsSink{Run: "bench"}
+	var sb strings.Builder
+	if err := sink.WriteSnapshot(&sb, snap); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(sb.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sink.WriteSnapshot(io.Discard, snap); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

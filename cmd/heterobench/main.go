@@ -19,7 +19,8 @@
 //
 // Observability:
 //
-//	heterobench -exp figure6 -metrics m.csv   # per-run metrics snapshots
+//	heterobench -exp figure6 -metrics m.csv     # per-run metrics snapshots
+//	heterobench -exp figure9 -profile-epochs    # aggregate epoch phase breakdown
 //
 // Machine-model backends (see DESIGN.md §5f):
 //
@@ -44,6 +45,7 @@ import (
 
 	"heteroos/internal/exp"
 	"heteroos/internal/memsim"
+	"heteroos/internal/metrics"
 	"heteroos/internal/obs"
 )
 
@@ -73,21 +75,29 @@ func (c *obsCollector) factory(label string, seed uint64) *obs.Obs {
 	return h
 }
 
-// flush writes the collected runs' snapshots under experiment id and
+// flush writes the collected runs' snapshots under experiment id (when
+// a CSV writer is attached), reports aggregate tracer drops, and
 // clears the collection. Runs are written in submission order, so the
-// file is deterministic for a fixed config.
+// file is deterministic for a fixed config. Metric names are scoped
+// full names ("vm1/guestos.promotions"), so per-VM series stay
+// distinguishable in the CSV.
 func (c *obsCollector) flush(expID string) error {
 	c.mu.Lock()
 	runs := c.runs
 	c.runs = nil
 	c.mu.Unlock()
+	var dropped uint64
 	for _, r := range runs {
+		dropped += r.handle.Tracer.Dropped()
+		if c.w == nil {
+			continue
+		}
 		snap := r.handle.Metrics.Snapshot()
 		for i := range snap.Values {
 			v := &snap.Values[i]
 			rec := []string{
 				expID, r.label, strconv.FormatUint(r.seed, 10),
-				v.Name, v.Kind.String(),
+				v.FullName(), v.Kind.String(),
 				strconv.FormatFloat(v.Value, 'g', -1, 64),
 			}
 			if v.Kind == obs.KindHistogram {
@@ -104,8 +114,33 @@ func (c *obsCollector) flush(expID string) error {
 			}
 		}
 	}
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr,
+			"heterobench: %s: event tracer dropped %d events across %d runs (heterobench attaches no event sink; use heterosim -events to capture a stream)\n",
+			expID, dropped, len(runs))
+	}
+	if c.w == nil {
+		return nil
+	}
 	c.w.Flush()
 	return c.w.Error()
+}
+
+// phaseTable aggregates the epoch phase profile across every collected
+// run of one experiment (a rollup over all cells' scoped histograms).
+// Returns nil when no run recorded phase data.
+func (c *obsCollector) phaseTable(expID string) *metrics.Table {
+	c.mu.Lock()
+	runs := c.runs
+	c.mu.Unlock()
+	var merged obs.Snapshot
+	for _, r := range runs {
+		merged = merged.Merge(r.handle.Metrics.Snapshot())
+	}
+	if !obs.HasPhaseData(merged) {
+		return nil
+	}
+	return obs.PhaseTable(merged, "epoch phase breakdown: "+expID+" (all cells)")
 }
 
 func main() {
@@ -120,6 +155,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to `file`")
 		memprofile = flag.String("memprofile", "", "write a heap profile to `file` at exit")
 		metricsOut = flag.String("metrics", "", "write per-run metrics snapshots (CSV) to `file`")
+		profileF   = flag.Bool("profile-epochs", false, "profile epoch phases in every sweep cell and print an aggregate phase breakdown")
 		backendF   = flag.String("backend", "analytic", "machine-model backend: analytic, coarse, or replay (needs -replay-trace)")
 		recordF    = flag.String("record-trace", "", "record each sweep cell's epoch stream as `prefix`-NNN-label.jsonl")
 		replayF    = flag.String("replay-trace", "", "replay a recorded JSONL epoch stream in every cell (selects the replay backend)")
@@ -195,6 +231,16 @@ func main() {
 		}
 		opts.NewObs = collector.factory
 	}
+	if *profileF {
+		// Profiling needs per-cell observability handles even when no
+		// metrics CSV was requested; a writer-less collector provides
+		// them (flush then only reports drops and clears).
+		if collector == nil {
+			collector = &obsCollector{}
+			opts.NewObs = collector.factory
+		}
+		opts.ProfileEpochs = true
+	}
 	var todo []exp.Experiment
 	if *expID == "all" {
 		todo = exp.Registry()
@@ -230,6 +276,19 @@ func main() {
 			fmt.Println(res.Notes)
 		}
 		if collector != nil {
+			if *profileF {
+				if pt := collector.phaseTable(e.ID); pt != nil {
+					fmt.Println()
+					switch *format {
+					case "markdown":
+						pt.RenderMarkdown(os.Stdout)
+					case "csv":
+						pt.RenderCSV(os.Stdout)
+					default:
+						pt.Render(os.Stdout)
+					}
+				}
+			}
 			if err := collector.flush(e.ID); err != nil {
 				fmt.Fprintf(os.Stderr, "heterobench: -metrics: %v\n", err)
 				os.Exit(1)

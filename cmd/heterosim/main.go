@@ -29,10 +29,12 @@
 //
 // Observability:
 //
-//	heterosim -events=out.jsonl         # structured event stream (JSONL)
+//	heterosim -events=out.jsonl         # structured event stream (JSONL; analyze with heterotrace)
 //	heterosim -chrome-trace=out.trace   # Perfetto / chrome://tracing export
 //	heterosim -metrics=out.csv          # end-of-run metrics snapshot
 //	heterosim -trace -format=csv        # per-epoch series as CSV
+//	heterosim -profile-epochs           # per-phase epoch cost breakdown (sim + wall)
+//	heterosim -listen :9090             # live /metrics (OpenMetrics) + /snapshot.json
 //
 // Machine-model backends (see DESIGN.md §5f):
 //
@@ -81,6 +83,8 @@ func main() {
 		ckEvery   = flag.Int("checkpoint-every", 0, "write a scenario checkpoint after every N epochs (needs -scenario or -restore)")
 		ckPath    = flag.String("checkpoint-path", "", "checkpoint destination file for -checkpoint-every")
 		restoreF  = flag.String("restore", "", "resume a scenario checkpoint file and run it to completion")
+		profileF  = flag.Bool("profile-epochs", false, "record per-phase epoch costs (sim + wall) and print a phase breakdown table")
+		listenF   = flag.String("listen", "", "serve live /metrics (OpenMetrics) and /snapshot.json on this address during the run")
 	)
 	flag.Parse()
 
@@ -120,6 +124,8 @@ func main() {
 		os.Exit(2)
 	}
 	ck := scenario.CheckpointOptions{Every: *ckEvery, Path: *ckPath}
+	of := obsFlags{events: *events, chrome: *chrome, metricsF: *metricsF,
+		listen: *listenF, profile: *profileF, format: *format}
 
 	build, closeBackend, err := buildBackend(*backendF, *recordF, *replayF)
 	if err != nil {
@@ -128,6 +134,12 @@ func main() {
 	}
 
 	if *restoreF != "" {
+		if *profileF {
+			// A checkpoint's embedded scenario does not carry the
+			// profiling request; profile the original run instead.
+			fmt.Fprintln(os.Stderr, "heterosim: -profile-epochs is not supported with -restore")
+			os.Exit(2)
+		}
 		backendOverride := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "backend" || f.Name == "record-trace" || f.Name == "replay-trace" {
@@ -140,7 +152,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "heterosim: -restore uses the checkpoint's own backend; backend flags conflict")
 			os.Exit(2)
 		}
-		runRestore(*restoreF, ck, closeBackend, *format, *events, *chrome, *metricsF)
+		runRestore(*restoreF, ck, closeBackend, of)
 		return
 	}
 
@@ -173,7 +185,7 @@ func main() {
 				backendName = *backendF
 			}
 		}
-		runScenario(*scenarioF, seedOverride, backendName, build, closeBackend, ck, *format, *events, *chrome, *metricsF)
+		runScenario(*scenarioF, seedOverride, backendName, build, closeBackend, ck, of)
 		return
 	}
 
@@ -206,9 +218,11 @@ func main() {
 	}
 
 	runTag := fmt.Sprintf("%s/%s ratio=%d seed=%d", *app, *modeName, *ratio, *seed)
-	handle, closeObs := newObsHandle(runTag, *events, *chrome, *metricsF)
+	handle, closeObs := newObsHandle(runTag, of)
 	cfg.Obs = handle
+	cfg.ProfileEpochs = *profileF
 	cfg.Backend = build
+	closeServer := serveMetrics(handle, *listenF)
 
 	// Ctrl-C cancels the run at the next simulation epoch.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -252,9 +266,15 @@ func main() {
 		renderTable(t, *format, os.Stdout)
 	}
 
+	if *profileF {
+		fmt.Println()
+		renderTable(obs.PhaseTable(handle.Metrics.Snapshot(),
+			"epoch phase breakdown: "+runTag), *format, os.Stdout)
+	}
 	if *metricsF != "" {
 		writeMetrics(handle, *metricsF)
 	}
+	closeServer()
 	closeObs()
 	closeBackendOrDie(closeBackend)
 }
@@ -262,7 +282,7 @@ func main() {
 // runScenario executes a scripted multi-VM scenario and prints its
 // per-VM outcomes and sampled timeline. A non-nil build overrides the
 // scenario's own backend field (CLI flags win over the JSON).
-func runScenario(path string, seedOverride *uint64, backendName string, build memsim.Builder, closeBackend func() error, ck scenario.CheckpointOptions, format, events, chrome, metricsF string) {
+func runScenario(path string, seedOverride *uint64, backendName string, build memsim.Builder, closeBackend func() error, ck scenario.CheckpointOptions, of obsFlags) {
 	sc, err := scenario.LoadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "heterosim:", err)
@@ -277,17 +297,18 @@ func runScenario(path string, seedOverride *uint64, backendName string, build me
 	if build != nil {
 		sc.WithBackendBuilder(build)
 	}
+	sc.ProfileEpochs = of.profile
 	runTag := fmt.Sprintf("scenario/%s seed=%d", sc.Name, sc.Seed)
 	executeScenario(runTag, func(ctx context.Context, h *obs.Obs) (*scenario.Result, error) {
 		return sc.RunWithCheckpoints(ctx, h, ck)
-	}, closeBackend, format, events, chrome, metricsF)
+	}, closeBackend, of)
 }
 
 // runRestore resumes a scenario checkpoint and runs it to completion;
 // its output is byte-identical to what the uninterrupted run would
 // have printed (and, with -events, its event stream is exactly the
 // uninterrupted run's tail).
-func runRestore(path string, ck scenario.CheckpointOptions, closeBackend func() error, format, events, chrome, metricsF string) {
+func runRestore(path string, ck scenario.CheckpointOptions, closeBackend func() error, of obsFlags) {
 	// Open and verify the snapshot up front so an unreadable or corrupt
 	// checkpoint reports as bad input (exit 2), exactly like an
 	// unloadable -scenario file; only the resumed run itself can exit 3.
@@ -305,18 +326,20 @@ func runRestore(path string, ck scenario.CheckpointOptions, closeBackend func() 
 	runTag := "restore/" + path
 	executeScenario(runTag, func(ctx context.Context, h *obs.Obs) (*scenario.Result, error) {
 		return scenario.Resume(ctx, rd, h, ck)
-	}, closeBackend, format, events, chrome, metricsF)
+	}, closeBackend, of)
 }
 
 // executeScenario drives one scenario run (fresh or resumed) under
 // signal handling and prints the shared result rendering.
-func executeScenario(runTag string, run func(context.Context, *obs.Obs) (*scenario.Result, error), closeBackend func() error, format, events, chrome, metricsF string) {
-	handle, closeObs := newObsHandle(runTag, events, chrome, metricsF)
+func executeScenario(runTag string, run func(context.Context, *obs.Obs) (*scenario.Result, error), closeBackend func() error, of obsFlags) {
+	handle, closeObs := newObsHandle(runTag, of)
+	closeServer := serveMetrics(handle, of.listen)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	r, err := run(ctx, handle)
 	if err != nil {
+		closeServer()
 		closeObs()
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "heterosim: interrupted")
@@ -329,13 +352,19 @@ func executeScenario(runTag string, run func(context.Context, *obs.Obs) (*scenar
 	fmt.Printf("scenario %s: %d VMs over %d epochs, seed %d, %s\n",
 		r.Name, len(r.VMs), r.Epochs, r.Seed, r.Sys.VMM.SharePolicyName())
 	fmt.Println()
-	renderTable(r.Table(), format, os.Stdout)
+	renderTable(r.Table(), of.format, os.Stdout)
 	fmt.Println()
-	renderTable(r.TimelineTable(), format, os.Stdout)
+	renderTable(r.TimelineTable(), of.format, os.Stdout)
 
-	if metricsF != "" {
-		writeMetrics(handle, metricsF)
+	if of.profile {
+		fmt.Println()
+		renderTable(obs.PhaseTable(handle.Metrics.Snapshot(),
+			"epoch phase breakdown: "+runTag), of.format, os.Stdout)
 	}
+	if of.metricsF != "" {
+		writeMetrics(handle, of.metricsF)
+	}
+	closeServer()
 	closeObs()
 	closeBackendOrDie(closeBackend)
 }
@@ -402,11 +431,27 @@ func closeBackendOrDie(closeBackend func() error) {
 	}
 }
 
+// obsFlags bundles the observability flags every run path shares.
+type obsFlags struct {
+	events, chrome, metricsF string
+	listen                   string
+	profile                  bool
+	format                   string
+}
+
+// on reports whether any flag asks for an observability handle.
+func (of obsFlags) on() bool {
+	return of.events != "" || of.chrome != "" || of.metricsF != "" ||
+		of.listen != "" || of.profile
+}
+
 // newObsHandle builds an observability handle when any output was
 // requested (nil otherwise — the default path stays byte-identical to
 // an uninstrumented build) and returns it with its cleanup function.
-func newObsHandle(runTag, events, chrome, metricsF string) (*obs.Obs, func()) {
-	if events == "" && chrome == "" && metricsF == "" {
+// The cleanup surfaces ring overflow on stderr: a run analyzed from a
+// partially captured stream would silently under-count.
+func newObsHandle(runTag string, of obsFlags) (*obs.Obs, func()) {
+	if !of.on() {
 		return nil, func() {}
 	}
 	handle := obs.New()
@@ -421,20 +466,48 @@ func newObsHandle(runTag, events, chrome, metricsF string) (*obs.Obs, func()) {
 		outFiles = append(outFiles, f)
 		handle.Tracer.AddSink(mk(f, runTag))
 	}
-	if events != "" {
-		openSink(events, func(wr io.Writer, run string) obs.Sink { return obs.NewJSONLSink(wr, run) })
+	if of.events != "" {
+		openSink(of.events, func(wr io.Writer, run string) obs.Sink { return obs.NewJSONLSink(wr, run) })
 	}
-	if chrome != "" {
-		openSink(chrome, func(wr io.Writer, run string) obs.Sink { return obs.NewChromeTraceSink(wr, run) })
+	if of.chrome != "" {
+		openSink(of.chrome, func(wr io.Writer, run string) obs.Sink { return obs.NewChromeTraceSink(wr, run) })
 	}
 	return handle, func() {
 		if err := handle.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "heterosim: event sink:", err)
 		}
+		if msg := handle.DroppedWarning(); msg != "" {
+			fmt.Fprintln(os.Stderr, "heterosim:", msg)
+		}
 		for _, f := range outFiles {
 			if err := f.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "heterosim:", err)
 			}
+		}
+	}
+}
+
+// serveMetrics starts the live metrics endpoint when addr is set and
+// wires per-epoch snapshot publication into the handle's epoch hook.
+// The returned cleanup stops the server.
+func serveMetrics(handle *obs.Obs, addr string) func() {
+	if addr == "" {
+		return func() {}
+	}
+	srv, err := obs.NewMetricsServer(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heterosim: -listen:", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "heterosim: serving http://%s/metrics and /snapshot.json\n", srv.Addr())
+	handle.SetEpochHook(func(int) {
+		srv.Publish(handle.Metrics.Snapshot(), handle.RunTag())
+	})
+	// Publish once up front so the endpoints are never empty.
+	srv.Publish(handle.Metrics.Snapshot(), handle.RunTag())
+	return func() {
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "heterosim: -listen:", err)
 		}
 	}
 }

@@ -92,6 +92,12 @@ type Config struct {
 	// default) keeps the hot path allocation-free and the simulation
 	// output byte-identical — observation never alters behaviour.
 	Obs *obs.Obs
+	// ProfileEpochs, when set together with Obs, attaches the epoch
+	// phase profiler: each VM's epoch-loop phases (workload, scan, rank,
+	// migrate, balance, charge) record simulated cost and host wall time
+	// into per-VM "phase.*" histograms. Off by default — even with obs
+	// on, runs skip the extra time.Now calls unless asked to profile.
+	ProfileEpochs bool
 	// Backend builds the machine-model backend the system prices epochs
 	// with. nil defaults to memsim.AnalyticBackend — the Table-3
 	// fidelity reference. NewSystem invokes the builder once, with the
@@ -248,9 +254,11 @@ type VMInstance struct {
 	// TraceLog holds the per-epoch series when Config.Trace is set.
 	TraceLog []EpochTrace
 
-	// obsScope and probes are set when Config.Obs is enabled.
+	// obsScope and probes are set when Config.Obs is enabled; phases
+	// additionally requires Config.ProfileEpochs.
 	obsScope *obs.Scope
 	probes   *coreProbes
+	phases   *obs.PhaseProfiler
 }
 
 // EpochTrace is one sample of a VM's per-epoch time series.
@@ -561,6 +569,12 @@ func (s *System) bootVM(vc VMConfig) (*VMInstance, error) {
 		}
 		if inst.migrator != nil {
 			inst.migrator.AttachObs(scope)
+		}
+		if s.Cfg.ProfileEpochs {
+			inst.phases = obs.NewPhaseProfiler(scope.Registry())
+			if inst.scanner != nil {
+				inst.scanner.AttachPhases(inst.phases)
+			}
 		}
 	}
 	if err := vc.Workload.Init(os); err != nil {

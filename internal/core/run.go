@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"heteroos/internal/guestos"
 	"heteroos/internal/memsim"
@@ -59,6 +60,9 @@ func (s *System) StepEpoch() (alive bool, err error) {
 	}
 	if alive {
 		s.epochs++
+		// Live exporters (heterosim -listen) subscribe through the obs
+		// epoch hook; nil-safe, so the obs-off path pays nothing.
+		s.Cfg.Obs.EpochTick(s.epochs)
 	}
 	return alive, nil
 }
@@ -110,15 +114,30 @@ func (s *System) stepVM(inst *VMInstance) (err error) {
 	}()
 	prof := inst.W.Profile()
 
+	// pt carries the phase profiler's wall-clock anchors. Explicit
+	// time.Now()/ObserveWallSince pairs (never defer closures, which
+	// allocate) and every time.Now is behind an inst.phases nil check,
+	// so unprofiled runs never touch the host clock here.
+	var pt time.Time
+
 	// 1. Application work against the guest OS.
+	if inst.phases != nil {
+		pt = time.Now()
+	}
 	instr, done := inst.W.Step(inst.OS)
 	if instr == 0 && !done {
 		return ErrWorkloadStalled
 	}
+	inst.phases.ObserveWallSince(obs.PhaseWorkload, pt)
 
 	// 2. Guest epoch maintenance first: watermark reclaim restores the
-	// FastMem free buffer that coordinated promotion lands in.
+	// FastMem free buffer that coordinated promotion lands in. Balloon
+	// traffic and reclaim both happen here, so this is the balance phase.
+	if inst.phases != nil {
+		pt = time.Now()
+	}
 	inst.OS.EndEpoch()
+	inst.phases.ObserveWallSince(obs.PhaseBalance, pt)
 
 	// 3. Hotness tracking + migration. The scanner runs on a wall-clock
 	// cadence (every scan interval of *simulated* time), so memory-bound
@@ -156,8 +175,23 @@ func (s *System) stepVM(inst *VMInstance) (err error) {
 			}
 			switch inst.Mode.Migration {
 			case policy.MigrateVMMExclusive:
+				if inst.phases != nil {
+					pt = time.Now()
+				}
 				res := inst.scanner.ScanNext()
+				if inst.phases != nil {
+					inst.phases.ObserveWallSince(obs.PhaseScan, pt)
+					inst.phases.ObserveSim(obs.PhaseScan, res.CostNs)
+					pt = time.Now()
+				}
 				st := inst.migrator.Rebalance(inst.VM, inst.scanner, s.Cfg.MaxMovesPerPass)
+				if inst.phases != nil {
+					// The rebalance wall time includes its ranking queries,
+					// which the scanner also reports under the rank phase;
+					// rank is a nested breakdown of migrate, not a sibling.
+					inst.phases.ObserveWallSince(obs.PhaseMigrate, pt)
+					inst.phases.ObserveSim(obs.PhaseMigrate, st.CostNs)
+				}
 				inst.OS.AddOSTime(res.CostNs + st.CostNs)
 				inst.Res.ScanCostNs += res.CostNs
 				inst.Res.MigrateCostNs += st.CostNs
@@ -181,7 +215,18 @@ func (s *System) stepVM(inst *VMInstance) (err error) {
 						continue
 					}
 				}
+				if inst.phases != nil {
+					pt = time.Now()
+				}
 				st := vmm.CoordinatedPass(inst.VM, inst.scanner, inst.OS, moves)
+				if inst.phases != nil {
+					// The coordinated pass fuses scan, rank, and migrate;
+					// its wall time lands on migrate (the pass exists to
+					// move pages), its simulated scan charge on scan, and
+					// the scanner's own rank-phase timing covers ranking.
+					inst.phases.ObserveWallSince(obs.PhaseMigrate, pt)
+					inst.phases.ObserveSim(obs.PhaseScan, st.ScanNs)
+				}
 				inst.moveBudget -= st.Promoted + st.Demoted
 				inst.OS.AddOSTime(st.ScanNs)
 				inst.Res.ScanCostNs += st.ScanNs
@@ -241,7 +286,14 @@ func (s *System) stepVM(inst *VMInstance) (err error) {
 		}
 	}
 
+	if inst.phases != nil {
+		pt = time.Now()
+	}
 	cost := s.Backend.Charge(charge)
+	if inst.phases != nil {
+		inst.phases.ObserveWallSince(obs.PhaseCharge, pt)
+		inst.phases.ObserveSim(obs.PhaseCharge, float64(cost.Total))
+	}
 	inst.Clock.Advance(cost.Total)
 	inst.scanDebt += cost.Total
 	// The coordinated migration budget scales with how well promotions

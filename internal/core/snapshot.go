@@ -321,6 +321,12 @@ func (s *System) attachObs(h *obs.Obs) {
 		if inst.migrator != nil {
 			inst.migrator.AttachObs(scope)
 		}
+		if s.Cfg.ProfileEpochs {
+			inst.phases = obs.NewPhaseProfiler(scope.Registry())
+			if inst.scanner != nil {
+				inst.scanner.AttachPhases(inst.phases)
+			}
+		}
 	}
 	s.sysScope = h.Scope(0, s.latestClock)
 	if s.drf != nil {

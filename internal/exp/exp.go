@@ -50,6 +50,9 @@ type Options struct {
 	// prices epochs through the backend this builder factory selects
 	// (see runner.Options.NewBackend). nil keeps the analytic default.
 	NewBackend func(label string, seed uint64) memsim.Builder
+	// ProfileEpochs is forwarded to the runner: cells that receive an
+	// observability handle also run the epoch phase profiler.
+	ProfileEpochs bool
 }
 
 func (o Options) seed() uint64 {
@@ -146,7 +149,8 @@ type sweep struct {
 }
 
 func newSweep(ctx context.Context, o Options) *sweep {
-	ropts := runner.Options{Workers: o.Workers, NewObs: o.NewObs, NewBackend: o.NewBackend}
+	ropts := runner.Options{Workers: o.Workers, NewObs: o.NewObs,
+		NewBackend: o.NewBackend, ProfileEpochs: o.ProfileEpochs}
 	if o.Progress != nil {
 		ropts.Progress = func(done, submitted int, r runner.Result) {
 			o.Progress(done, submitted, r.Label)

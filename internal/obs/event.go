@@ -169,6 +169,7 @@ const (
 	DirStart
 	// DirClear marks a fault window closing.
 	DirClear
+	numDirs
 )
 
 // String returns the stable wire name of the direction.

@@ -307,11 +307,17 @@ func TestScopePrefixing(t *testing.T) {
 	vm2.Counter("guestos.promotions").Inc()
 	sys.Counter("vmm.drf_rebalances").Inc()
 	s := o.Metrics.Snapshot()
-	if s.Find("vm2.guestos.promotions") == nil {
-		t.Fatalf("missing prefixed VM metric: %+v", s.Values)
+	if s.Find("vm2/guestos.promotions") == nil {
+		t.Fatalf("missing scoped VM metric: %+v", s.Values)
 	}
 	if s.Find("vmm.drf_rebalances") == nil {
 		t.Fatalf("system scope must not prefix: %+v", s.Values)
+	}
+	if vm2.Registry().ScopePath() != "vm2" {
+		t.Fatalf("vm scope path = %q, want vm2", vm2.Registry().ScopePath())
+	}
+	if sys.Registry() != o.Metrics {
+		t.Fatal("system scope must use the root registry")
 	}
 	var nilObs *Obs
 	if nilObs.Scope(1, now) != nil {

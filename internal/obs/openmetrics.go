@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// OpenMetricsSink renders snapshots in the OpenMetrics / Prometheus
+// text exposition format, so any Prometheus-compatible scraper or
+// promtool can consume a run's registry directly. It is an offline
+// encoder (WriteSnapshot), not a tracer Sink: metrics are state, not
+// an event stream.
+//
+// Name mangling: metric names gain a "heteroos_" prefix with dots
+// replaced by underscores ("guestos.promotions" →
+// heteroos_guestos_promotions); the scope path travels as a `scope`
+// label and the run tag as a `run` label, so per-VM series of one
+// metric share a family exactly the way Prometheus expects. Counters
+// get the conventional "_total" suffix; histograms emit cumulative
+// log2 `le` buckets plus `_sum` and `_count`.
+type OpenMetricsSink struct {
+	// Run stamps every series with a run="..." label ("" omits it).
+	Run string
+}
+
+// WriteSnapshot renders s to w, terminated by the "# EOF" marker the
+// OpenMetrics format requires.
+func (o *OpenMetricsSink) WriteSnapshot(w io.Writer, s Snapshot) error {
+	var b []byte
+	// Group by metric name so each family's TYPE header appears once,
+	// preserving first-appearance order of families.
+	type family struct {
+		name string
+		kind Kind
+		vals []*MetricValue
+	}
+	var fams []*family
+	idx := make(map[string]*family)
+	for i := range s.Values {
+		v := &s.Values[i]
+		key := v.Name + "\x00" + v.Kind.String()
+		f, ok := idx[key]
+		if !ok {
+			f = &family{name: v.Name, kind: v.Kind}
+			idx[key] = f
+			fams = append(fams, f)
+		}
+		f.vals = append(f.vals, v)
+	}
+	for _, f := range fams {
+		name := metricName(f.name, f.kind)
+		b = append(b, "# TYPE "...)
+		b = append(b, name...)
+		switch f.kind {
+		case KindCounter:
+			b = append(b, " counter\n"...)
+		case KindGauge:
+			b = append(b, " gauge\n"...)
+		case KindHistogram:
+			b = append(b, " histogram\n"...)
+		}
+		for _, v := range f.vals {
+			b = o.appendValue(b, name, v)
+		}
+	}
+	b = append(b, "# EOF\n"...)
+	_, err := w.Write(b)
+	return err
+}
+
+// metricName mangles a registry name into a Prometheus metric name.
+func metricName(name string, kind Kind) string {
+	var sb strings.Builder
+	sb.WriteString("heteroos_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if kind == KindCounter {
+		sb.WriteString("_total")
+	}
+	return sb.String()
+}
+
+// appendLabels appends the {scope=...,run=...} label set (possibly
+// empty) plus any extra label pair.
+func (o *OpenMetricsSink) appendLabels(b []byte, scope, extraK, extraV string) []byte {
+	if scope == "" && o.Run == "" && extraK == "" {
+		return b
+	}
+	b = append(b, '{')
+	first := true
+	add := func(k, v string) {
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = append(b, k...)
+		b = append(b, '=')
+		b = strconv.AppendQuote(b, v)
+	}
+	if scope != "" {
+		add("scope", scope)
+	}
+	if o.Run != "" {
+		add("run", o.Run)
+	}
+	if extraK != "" {
+		add(extraK, extraV)
+	}
+	return append(b, '}')
+}
+
+// appendFloat renders a sample value (OpenMetrics uses +Inf/-Inf/NaN
+// spellings, which AppendFloat matches closely enough for finite
+// values; infinities are handled explicitly).
+func appendFloat(b []byte, v float64) []byte {
+	switch {
+	case math.IsInf(v, 1):
+		return append(b, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(b, "-Inf"...)
+	default:
+		return strconv.AppendFloat(b, v, 'g', -1, 64)
+	}
+}
+
+// appendValue renders one MetricValue's sample lines.
+func (o *OpenMetricsSink) appendValue(b []byte, name string, v *MetricValue) []byte {
+	switch v.Kind {
+	case KindCounter, KindGauge:
+		b = append(b, name...)
+		b = o.appendLabels(b, v.Scope, "", "")
+		b = append(b, ' ')
+		b = appendFloat(b, v.Value)
+		return append(b, '\n')
+	case KindHistogram:
+		// Cumulative le buckets over the log2 grid: only non-empty
+		// buckets get an explicit bound (the grid is fixed, so omitted
+		// bounds carry no information), then the mandatory +Inf.
+		var cum uint64
+		for i := 0; i < histBuckets; i++ {
+			if v.buckets[i] == 0 {
+				continue
+			}
+			cum += v.buckets[i]
+			// Bucket i holds values with bits.Len64 == i, upper bound
+			// 2^i - 1; the le bound is inclusive so 2^i-1 is exact.
+			var upper float64
+			if i == 0 {
+				upper = 0
+			} else {
+				upper = math.Ldexp(1, i) - 1
+			}
+			b = append(b, name...)
+			b = append(b, "_bucket"...)
+			var le []byte
+			le = appendFloat(le, upper)
+			b = o.appendLabels(b, v.Scope, "le", string(le))
+			b = append(b, ' ')
+			b = strconv.AppendUint(b, cum, 10)
+			b = append(b, '\n')
+		}
+		b = append(b, name...)
+		b = append(b, "_bucket"...)
+		b = o.appendLabels(b, v.Scope, "le", "+Inf")
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, uint64(v.Value), 10)
+		b = append(b, '\n')
+		b = append(b, name...)
+		b = append(b, "_sum"...)
+		b = o.appendLabels(b, v.Scope, "", "")
+		b = append(b, ' ')
+		b = appendFloat(b, v.Sum)
+		b = append(b, '\n')
+		b = append(b, name...)
+		b = append(b, "_count"...)
+		b = o.appendLabels(b, v.Scope, "", "")
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, uint64(v.Value), 10)
+		b = append(b, '\n')
+	}
+	return b
+}

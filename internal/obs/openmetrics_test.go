@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// buildExportRegistry populates a small scoped registry exercising all
+// three instrument kinds across two scopes.
+func buildExportRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("tracer_dropped_events").Add(3)
+	vm1 := r.Scope("vm1")
+	vm1.Counter("guestos.promotions").Add(12)
+	vm1.Gauge("vmm.fast_free_pct").Set(37.5)
+	h := vm1.Histogram("phase.scan.wall_ns")
+	h.Observe(100)
+	h.Observe(5000)
+	h.Observe(5000)
+	r.Scope("vm2").Counter("guestos.promotions").Add(30)
+	return r
+}
+
+// TestOpenMetricsFormat pins the exposition format: family TYPE
+// headers appear once, names get the heteroos_ prefix and counter
+// _total suffix, scopes travel as labels, histograms emit cumulative
+// le buckets with _sum/_count, and the stream ends with # EOF.
+func TestOpenMetricsFormat(t *testing.T) {
+	var sb strings.Builder
+	sink := &OpenMetricsSink{Run: `churn "q" run`}
+	if err := sink.WriteSnapshot(&sb, buildExportRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("output does not end with # EOF:\n%s", out)
+	}
+	if n := strings.Count(out, "# TYPE heteroos_guestos_promotions_total counter"); n != 1 {
+		t.Errorf("promotions TYPE header count = %d, want 1 (shared family)\n%s", n, out)
+	}
+	for _, want := range []string{
+		"# TYPE heteroos_tracer_dropped_events_total counter",
+		"heteroos_tracer_dropped_events_total{run=\"churn \\\"q\\\" run\"} 3",
+		"heteroos_guestos_promotions_total{scope=\"vm1\",run=\"churn \\\"q\\\" run\"} 12",
+		"heteroos_guestos_promotions_total{scope=\"vm2\",run=\"churn \\\"q\\\" run\"} 30",
+		"# TYPE heteroos_vmm_fast_free_pct gauge",
+		"heteroos_vmm_fast_free_pct{scope=\"vm1\",run=\"churn \\\"q\\\" run\"} 37.5",
+		"# TYPE heteroos_phase_scan_wall_ns histogram",
+		"heteroos_phase_scan_wall_ns_count{scope=\"vm1\",run=\"churn \\\"q\\\" run\"} 3",
+		"heteroos_phase_scan_wall_ns_sum{scope=\"vm1\",run=\"churn \\\"q\\\" run\"} 10100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q\n%s", want, out)
+		}
+	}
+
+	// Histogram buckets are cumulative and the +Inf bucket equals the
+	// count. 100 has bits.Len 7 → bucket bound 2^7-1 = 127; 5000 has
+	// bits.Len 13 → bound 8191.
+	if !strings.Contains(out, `le="127"} 1`) {
+		t.Errorf("missing le=127 bucket with cumulative count 1:\n%s", out)
+	}
+	if !strings.Contains(out, `le="8191"} 3`) {
+		t.Errorf("missing le=8191 bucket with cumulative count 3:\n%s", out)
+	}
+	if !strings.Contains(out, `le="+Inf"} 3`) {
+		t.Errorf("missing +Inf bucket:\n%s", out)
+	}
+
+	// Every non-comment line is "name{labels} value" with a parseable
+	// float value — a cheap stand-in for promtool check.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Errorf("sample %q has unparseable value: %v", line, err)
+		}
+	}
+}
+
+// TestOpenMetricsEmptySnapshot renders a bare EOF for an empty
+// snapshot (a scrape before the first publish must stay valid).
+func TestOpenMetricsEmptySnapshot(t *testing.T) {
+	var sb strings.Builder
+	if err := (&OpenMetricsSink{}).WriteSnapshot(&sb, Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "# EOF\n" {
+		t.Errorf("empty snapshot = %q, want bare EOF", sb.String())
+	}
+}
+
+// TestMetricsServerServes drives the live endpoints end to end:
+// publish a snapshot, scrape /metrics and /snapshot.json over HTTP.
+func TestMetricsServerServes(t *testing.T) {
+	srv, err := NewMetricsServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	srv.Publish(buildExportRegistry().Snapshot(), "live-test")
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	if !strings.Contains(body, `heteroos_guestos_promotions_total{scope="vm1",run="live-test"} 12`) {
+		t.Errorf("/metrics body lacks published series:\n%s", body)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Errorf("/metrics body not EOF-terminated")
+	}
+
+	jbody, jtype := get("/snapshot.json")
+	if !strings.Contains(jtype, "application/json") {
+		t.Errorf("/snapshot.json content type = %q", jtype)
+	}
+	var snap struct {
+		Run     string `json:"run"`
+		Metrics []struct {
+			Scope string  `json:"scope"`
+			Name  string  `json:"name"`
+			Kind  string  `json:"kind"`
+			Value float64 `json:"value"`
+			P99   float64 `json:"p99"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(jbody), &snap); err != nil {
+		t.Fatalf("/snapshot.json does not parse: %v\n%s", err, jbody)
+	}
+	if snap.Run != "live-test" {
+		t.Errorf("json run = %q", snap.Run)
+	}
+	var sawHist bool
+	for _, m := range snap.Metrics {
+		if m.Name == "phase.scan.wall_ns" && m.Scope == "vm1" {
+			sawHist = true
+			if m.Kind != "histogram" || m.Value != 3 || m.P99 == 0 {
+				t.Errorf("histogram json = %+v", m)
+			}
+		}
+	}
+	if !sawHist {
+		t.Errorf("/snapshot.json lacks the scoped histogram:\n%s", jbody)
+	}
+
+	// Re-publication is visible on the next scrape.
+	r2 := buildExportRegistry()
+	r2.Scope("vm1").Counter("guestos.promotions").Add(8)
+	srv.Publish(r2.Snapshot(), "live-test")
+	body, _ = get("/metrics")
+	if !strings.Contains(body, `heteroos_guestos_promotions_total{scope="vm1",run="live-test"} 20`) {
+		t.Errorf("republished counter not served:\n%s", body)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync"
 
 	"heteroos/internal/metrics"
 )
@@ -45,6 +46,11 @@ func (c *Counter) Add(n uint64) { c.v += n }
 
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v }
+
+// set overwrites the count. Unexported: the only legitimate user is the
+// tracer's drop mirror, which re-publishes an externally accumulated
+// total through the registry.
+func (c *Counter) set(n uint64) { c.v = n }
 
 // Gauge records the most recent value of a quantity that can move in
 // both directions (free-page percentages, budgets).
@@ -138,19 +144,68 @@ type metric struct {
 	h    *Histogram
 }
 
-// Registry holds the named instruments of one run. Registration is
-// idempotent by name — asking for an existing name returns the same
-// instrument — so layers can register at boot without coordinating,
-// and registration order is preserved for deterministic snapshots.
+// ScopeSep separates scope path segments ("host0/vm3") and a scope
+// path from a metric name in a full name ("host0/vm3/guestos.faults").
+const ScopeSep = "/"
+
+// Registry holds the named instruments of one scope plus its child
+// scopes. Registration is idempotent by name — asking for an existing
+// name returns the same instrument — so layers can register at boot
+// without coordinating, and registration order is preserved for
+// deterministic snapshots.
+//
+// Scope derives child registries forming a tree (run → host → vm);
+// Snapshot walks the whole subtree, tagging every value with its scope
+// path relative to the snapshotted registry. Instrument updates are
+// lock-free (each scope's instruments belong to one goroutine); only
+// scope creation and snapshotting take the tree mutex, so child scopes
+// handed to concurrent jobs stay safe as long as each job touches only
+// its own subtree.
 type Registry struct {
+	// segment is this registry's own path segment ("" at the root);
+	// path is the full scope path from the tree root.
+	segment string
+	path    string
 	byName  map[string]int
 	ordered []metric
+
+	// mu guards the children list (creation and snapshot traversal).
+	mu       sync.Mutex
+	children []*Registry
+	childIdx map[string]*Registry
 }
 
-// NewRegistry builds an empty registry.
+// NewRegistry builds an empty root registry.
 func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]int)}
 }
+
+// Scope returns the child registry named name, creating it on first
+// use. Metrics registered on the child appear in this registry's
+// Snapshot with their scope path prefixed by name. Scope names must not
+// contain ScopeSep (use nested Scope calls for deeper paths).
+func (r *Registry) Scope(name string) *Registry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.childIdx[name]; ok {
+		return c
+	}
+	path := name
+	if r.path != "" {
+		path = r.path + ScopeSep + name
+	}
+	c := &Registry{segment: name, path: path, byName: make(map[string]int)}
+	if r.childIdx == nil {
+		r.childIdx = make(map[string]*Registry)
+	}
+	r.childIdx[name] = c
+	r.children = append(r.children, c)
+	return c
+}
+
+// ScopePath returns the registry's full scope path from the tree root
+// ("" for the root itself, "host0/vm3" for a nested scope).
+func (r *Registry) ScopePath() string { return r.path }
 
 // lookup returns the index of name, creating it with kind if absent.
 // A name registered twice with different kinds keeps the first kind;
@@ -202,12 +257,17 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return r.ordered[i].h
 }
 
-// Len returns the number of registered instruments.
+// Len returns the number of instruments registered on this scope
+// (children not included).
 func (r *Registry) Len() int { return len(r.ordered) }
 
 // MetricValue is one instrument's state inside a Snapshot.
 type MetricValue struct {
-	// Name is the registered name.
+	// Scope is the instrument's scope path relative to the snapshotted
+	// registry ("" for its own instruments, "vm3" or "host0/vm3" for
+	// subtree instruments).
+	Scope string
+	// Name is the registered name within the scope.
 	Name string
 	// Kind is the instrument type.
 	Kind Kind
@@ -223,6 +283,15 @@ type MetricValue struct {
 	buckets [histBuckets]uint64
 }
 
+// FullName joins the scope path and name ("vm3/guestos.faults"); for
+// root-scope metrics it is just the name.
+func (m *MetricValue) FullName() string {
+	if m.Scope == "" {
+		return m.Name
+	}
+	return m.Scope + ScopeSep + m.Name
+}
+
 // Quantile estimates the q-quantile for histogram values (0 for
 // counters and gauges).
 func (m *MetricValue) Quantile(q float64) float64 {
@@ -232,19 +301,26 @@ func (m *MetricValue) Quantile(q float64) float64 {
 	return quantileOf(&m.buckets, uint64(m.Value), uint64(m.Max), q)
 }
 
-// Snapshot is a point-in-time copy of every registered instrument, in
-// registration order. Snapshots are plain values: cheap to take per
-// epoch and safe to diff later.
+// Snapshot is a point-in-time copy of every registered instrument of a
+// registry subtree: the registry's own instruments in registration
+// order, then each child scope's depth-first in creation order.
+// Snapshots are plain values: cheap to take per epoch and safe to diff,
+// merge, and roll up later.
 type Snapshot struct {
-	// Values lists one entry per instrument in registration order.
+	// Values lists one entry per instrument.
 	Values []MetricValue
 }
 
-// Snapshot copies the current state of every instrument.
+// Snapshot copies the current state of every instrument in the subtree.
 func (r *Registry) Snapshot() Snapshot {
-	s := Snapshot{Values: make([]MetricValue, len(r.ordered))}
-	for i, m := range r.ordered {
-		v := MetricValue{Name: m.name, Kind: m.kind}
+	var s Snapshot
+	r.appendTo(&s, "")
+	return s
+}
+
+func (r *Registry) appendTo(s *Snapshot, scope string) {
+	for _, m := range r.ordered {
+		v := MetricValue{Scope: scope, Name: m.name, Kind: m.kind}
 		switch m.kind {
 		case KindCounter:
 			v.Value = float64(m.c.v)
@@ -256,9 +332,21 @@ func (r *Registry) Snapshot() Snapshot {
 			v.Max = float64(m.h.max)
 			v.buckets = m.h.buckets
 		}
-		s.Values[i] = v
+		s.Values = append(s.Values, v)
 	}
-	return s
+	r.mu.Lock()
+	kids := r.children
+	if len(kids) > 0 {
+		kids = append([]*Registry(nil), kids...)
+	}
+	r.mu.Unlock()
+	for _, c := range kids {
+		child := c.segment
+		if scope != "" {
+			child = scope + ScopeSep + child
+		}
+		c.appendTo(s, child)
+	}
 }
 
 // Diff returns s minus prev: counters and histograms become the delta
@@ -267,13 +355,14 @@ func (r *Registry) Snapshot() Snapshot {
 // prev (registered mid-window) diff against zero.
 func (s Snapshot) Diff(prev Snapshot) Snapshot {
 	prevIdx := make(map[string]int, len(prev.Values))
-	for i, v := range prev.Values {
-		prevIdx[v.Name] = i
+	for i := range prev.Values {
+		prevIdx[prev.Values[i].FullName()] = i
 	}
 	out := Snapshot{Values: make([]MetricValue, len(s.Values))}
-	for i, v := range s.Values {
+	for i := range s.Values {
+		v := s.Values[i]
 		d := v
-		if j, ok := prevIdx[v.Name]; ok && prev.Values[j].Kind == v.Kind {
+		if j, ok := prevIdx[v.FullName()]; ok && prev.Values[j].Kind == v.Kind {
 			p := prev.Values[j]
 			switch v.Kind {
 			case KindCounter:
@@ -293,41 +382,140 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 	return out
 }
 
+// mergeKey orders and deduplicates values across snapshots.
+func mergeKey(v *MetricValue) string {
+	return v.FullName() + "\x00" + v.Kind.String()
+}
+
+// accumulate folds src into dst (same key). Counters and histograms
+// add losslessly (bucket-wise for histograms, so rolled-up quantiles
+// are exactly what one combined instrument would have reported); Max
+// and gauges take the maximum — for a gauge, "largest last-seen value
+// in the subtree" is the only merge that stays commutative.
+func accumulate(dst, src *MetricValue) {
+	switch dst.Kind {
+	case KindCounter:
+		dst.Value += src.Value
+	case KindGauge:
+		if src.Value > dst.Value {
+			dst.Value = src.Value
+		}
+	case KindHistogram:
+		dst.Value += src.Value
+		dst.Sum += src.Sum
+		if src.Max > dst.Max {
+			dst.Max = src.Max
+		}
+		for b := range dst.buckets {
+			dst.buckets[b] += src.buckets[b]
+		}
+	}
+}
+
+// mergeValues combines value lists keyed by (scope, name, kind) and
+// returns them sorted by full name — a canonical order, so merging is
+// commutative and associative value-for-value.
+func mergeValues(lists ...[]MetricValue) []MetricValue {
+	idx := make(map[string]int)
+	var out []MetricValue
+	for _, vs := range lists {
+		for i := range vs {
+			v := vs[i]
+			k := mergeKey(&v)
+			if j, ok := idx[k]; ok {
+				accumulate(&out[j], &v)
+			} else {
+				idx[k] = len(out)
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if a, b := out[i].FullName(), out[j].FullName(); a != b {
+			return a < b
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Merge combines two snapshots: values sharing (scope, name, kind)
+// aggregate losslessly (counters and histogram buckets add, gauges and
+// maxima take the larger), distinct values pass through. The result is
+// in canonical (sorted-by-full-name) order, which makes Merge
+// commutative: Merge(a,b) == Merge(b,a), and Merge with an empty
+// snapshot is the identity up to that ordering.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	return Snapshot{Values: mergeValues(s.Values, o.Values)}
+}
+
+// Rollup aggregates the snapshot upward across scopes: every value's
+// scope is stripped and values sharing (name, kind) combine exactly as
+// in Merge, so N per-VM scopes roll up to what a single unscoped
+// registry observing the same stream would hold. The result is sorted
+// by name.
+func (s Snapshot) Rollup() Snapshot {
+	stripped := make([]MetricValue, len(s.Values))
+	for i, v := range s.Values {
+		v.Scope = ""
+		stripped[i] = v
+	}
+	return Snapshot{Values: mergeValues(stripped)}
+}
+
+// Scoped returns a copy of the snapshot re-parented under scope: every
+// value's scope path gains the prefix. The fleet/batch aggregation
+// primitive — take each host's (or job's) snapshot, scope it by its
+// identity, and Merge the results into one hierarchy.
+func (s Snapshot) Scoped(scope string) Snapshot {
+	out := Snapshot{Values: make([]MetricValue, len(s.Values))}
+	for i, v := range s.Values {
+		if v.Scope == "" {
+			v.Scope = scope
+		} else {
+			v.Scope = scope + ScopeSep + v.Scope
+		}
+		out.Values[i] = v
+	}
+	return out
+}
+
 // Table renders the snapshot as a metrics.Table titled title with one
-// row per instrument: name, kind, value, and (for histograms) sum,
-// mean, p50, p99, and max.
+// row per instrument: full scoped name, kind, value, and (for
+// histograms) sum, mean, p50, p99, and max.
 func (s Snapshot) Table(title string) *metrics.Table {
 	t := metrics.NewTable(title, "metric", "kind", "value", "sum", "mean", "p50", "p99", "max")
 	for i := range s.Values {
 		v := &s.Values[i]
 		if v.Kind != KindHistogram {
-			t.AddRow(v.Name, v.Kind.String(), v.Value, "", "", "", "", "")
+			t.AddRow(v.FullName(), v.Kind.String(), v.Value, "", "", "", "", "")
 			continue
 		}
 		mean := 0.0
 		if v.Value > 0 {
 			mean = v.Sum / v.Value
 		}
-		t.AddRow(v.Name, v.Kind.String(), v.Value, v.Sum, mean,
+		t.AddRow(v.FullName(), v.Kind.String(), v.Value, v.Sum, mean,
 			v.Quantile(0.50), v.Quantile(0.99), v.Max)
 	}
 	return t
 }
 
-// Find returns the metric named name, or nil.
+// Find returns the metric whose FullName matches name, or nil.
 func (s Snapshot) Find(name string) *MetricValue {
 	for i := range s.Values {
-		if s.Values[i].Name == name {
+		if s.Values[i].FullName() == name {
 			return &s.Values[i]
 		}
 	}
 	return nil
 }
 
-// Sorted returns the value slice sorted by name (snapshots themselves
-// stay in registration order; sorting is for stable test output).
+// Sorted returns the value slice sorted by full name (snapshots
+// themselves stay in registration order; sorting is for stable test
+// output).
 func (s Snapshot) Sorted() []MetricValue {
 	out := append([]MetricValue(nil), s.Values...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
 	return out
 }

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// MetricsServer serves a live simulation's metrics over HTTP:
+//
+//	/metrics        OpenMetrics/Prometheus text format
+//	/snapshot.json  the same snapshot as JSON (quantiles precomputed)
+//
+// The simulation goroutine never shares its registries with the HTTP
+// handlers. Instead it publishes immutable Snapshot copies (typically
+// from an Obs epoch hook), and handlers read the latest published one
+// through an atomic pointer — a stale-by-at-most-one-epoch view with
+// zero locking against the hot path.
+type MetricsServer struct {
+	srv *http.Server
+	lis net.Listener
+	cur atomic.Pointer[published]
+}
+
+// published is one immutable publication.
+type published struct {
+	snap Snapshot
+	run  string
+}
+
+// NewMetricsServer binds addr (e.g. ":9090" or "127.0.0.1:0") and
+// starts serving. The returned server is live immediately; publish
+// snapshots as the run progresses and Close when done.
+func NewMetricsServer(addr string) (*MetricsServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	m := &MetricsServer{lis: lis}
+	m.cur.Store(&published{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", m.handleMetrics)
+	mux.HandleFunc("/snapshot.json", m.handleJSON)
+	m.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = m.srv.Serve(lis) }()
+	return m, nil
+}
+
+// Addr reports the bound address (useful with ":0").
+func (m *MetricsServer) Addr() string { return m.lis.Addr().String() }
+
+// Publish makes s the snapshot served from now on. Call it from the
+// simulation goroutine (e.g. an Obs epoch hook); the snapshot must not
+// be mutated afterwards — Registry.Snapshot always returns a fresh
+// copy, so publishing its result directly is safe.
+func (m *MetricsServer) Publish(s Snapshot, run string) {
+	m.cur.Store(&published{snap: s, run: run})
+}
+
+// Close stops listening and shuts the server down.
+func (m *MetricsServer) Close() error {
+	return m.srv.Close()
+}
+
+func (m *MetricsServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	p := m.cur.Load()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	sink := &OpenMetricsSink{Run: p.run}
+	_ = sink.WriteSnapshot(w, p.snap)
+}
+
+// jsonMetric is the /snapshot.json wire shape of one instrument.
+type jsonMetric struct {
+	Scope string  `json:"scope,omitempty"`
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value"`
+	Sum   float64 `json:"sum,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+func (m *MetricsServer) handleJSON(w http.ResponseWriter, _ *http.Request) {
+	p := m.cur.Load()
+	out := struct {
+		Run     string       `json:"run,omitempty"`
+		Metrics []jsonMetric `json:"metrics"`
+	}{Run: p.run, Metrics: make([]jsonMetric, 0, len(p.snap.Values))}
+	for i := range p.snap.Values {
+		v := &p.snap.Values[i]
+		jm := jsonMetric{
+			Scope: v.Scope, Name: v.Name, Kind: v.Kind.String(),
+			Value: v.Value,
+		}
+		if v.Kind == KindHistogram {
+			jm.Sum, jm.Max = v.Sum, v.Max
+			jm.P50, jm.P99 = v.Quantile(0.50), v.Quantile(0.99)
+		}
+		out.Metrics = append(out.Metrics, jm)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"io"
 	"strconv"
+	"unicode/utf8"
 )
 
 // appendEventFields appends the shared JSON body of an event (without
@@ -31,24 +32,43 @@ func appendEventFields(b []byte, ev Event) []byte {
 	return b
 }
 
-// appendJSONString appends s as a JSON string literal, escaping the
-// characters that can appear in run tags (quotes and backslashes; run
-// tags are CLI flag values, not arbitrary binary).
+// appendJSONString appends s as a JSON string literal. Run tags are
+// CLI flag values, so the full set of hostile inputs is possible:
+// control characters are \u-escaped, quotes and backslashes
+// backslash-escaped, valid multibyte UTF-8 passed through, and invalid
+// byte sequences replaced with U+FFFD — the same policy encoding/json
+// applies, so any JSON decoder round-trips the sanitized string.
 func appendJSONString(b []byte, s string) []byte {
+	const hex = "0123456789abcdef"
 	b = append(b, '"')
-	for i := 0; i < len(s); i++ {
-		switch c := s[i]; c {
-		case '"', '\\':
-			b = append(b, '\\', c)
-		default:
-			if c < 0x20 {
-				b = append(b, `\u00`...)
-				const hex = "0123456789abcdef"
-				b = append(b, hex[c>>4], hex[c&0xf])
-			} else {
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == '"' || c == '\\':
+				b = append(b, '\\', c)
+			case c >= 0x20:
 				b = append(b, c)
+			case c == '\n':
+				b = append(b, '\\', 'n')
+			case c == '\r':
+				b = append(b, '\\', 'r')
+			case c == '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, `\u00`...)
+				b = append(b, hex[c>>4], hex[c&0xf])
 			}
+			i++
+			continue
 		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = utf8.AppendRune(b, utf8.RuneError)
+		} else {
+			b = append(b, s[i:i+size]...)
+		}
+		i += size
 	}
 	return append(b, '"')
 }

@@ -30,7 +30,11 @@ type Tracer struct {
 	n       int
 	sinks   []Sink
 	dropped uint64
-	err     error
+	// dropCounter, when set, mirrors the drop total into the metrics
+	// registry (obs.DroppedCounterName) at every flush, so snapshots
+	// taken at any point see the loss without a separate sync step.
+	dropCounter *Counter
+	err         error
 }
 
 // NewTracer builds a tracer with the given ring capacity (capacity <= 0
@@ -71,6 +75,9 @@ func (t *Tracer) flush() {
 	}
 	if len(t.sinks) == 0 {
 		t.dropped += uint64(t.n)
+		if t.dropCounter != nil {
+			t.dropCounter.set(t.dropped)
+		}
 	} else {
 		batch := t.ring[:t.n]
 		for _, s := range t.sinks {

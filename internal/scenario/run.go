@@ -328,6 +328,9 @@ func (sc *Scenario) baseConfig(h *obs.Obs) (core.Config, error) {
 		Obs:        h,
 		Seed:       sc.Seed,
 	}
+	if sc.ProfileEpochs && h != nil {
+		cfg.ProfileEpochs = true
+	}
 	if sc.SlowThrottle != nil {
 		cfg.SlowSpec = sc.SlowThrottle.Spec()
 	}
@@ -531,14 +534,40 @@ func (r *Result) TimelineTable() *metrics.Table {
 	return t
 }
 
+// withProfiling returns a shallow copy with the phase profiler on —
+// RunMany must not mutate caller-owned scenarios (one *Scenario may be
+// submitted to several batches concurrently).
+func (sc *Scenario) withProfiling() *Scenario {
+	cp := *sc
+	cp.ProfileEpochs = true
+	return &cp
+}
+
 // RunMany executes scenarios through the runner pool: bounded
 // concurrency, per-job panic isolation, and results in input order.
 // Per-scenario observability handles come from opts.NewObs (closed
-// after each run); results are byte-identical across worker counts.
+// after each run) or, when opts.Obs is set instead, from per-scenario
+// JobScope children of that parent handle — each scenario's metrics
+// then land in a "name/..." scope of the parent's registry tree, so
+// one Snapshot/Rollup aggregates the batch (read it only after RunMany
+// returns). opts.ProfileEpochs turns on the phase profiler for every
+// scenario that ends up with a handle. Results are byte-identical
+// across worker counts.
 func RunMany(ctx context.Context, scs []*Scenario, opts runner.Options) ([]*Result, error) {
 	pool := runner.NewPool(ctx, opts)
 	out := make([]*Result, len(scs))
 	futures := make([]*runner.Future, len(scs))
+	// Scope labels are deduplicated up front (serially) so two scenarios
+	// sharing a name never share a child registry.
+	scopeLabels := make([]string, len(scs))
+	seen := make(map[string]int, len(scs))
+	for i, sc := range scs {
+		seen[sc.Name]++
+		scopeLabels[i] = sc.Name
+		if n := seen[sc.Name]; n > 1 {
+			scopeLabels[i] = fmt.Sprintf("%s#%d", sc.Name, n)
+		}
+	}
 	for i, sc := range scs {
 		i, sc := i, sc
 		futures[i] = pool.SubmitFunc(sc.Name, func(ctx context.Context) (*core.VMResult, *core.System, error) {
@@ -548,6 +577,12 @@ func RunMany(ctx context.Context, scs []*Scenario, opts runner.Options) ([]*Resu
 				if h != nil && h.RunTag() == "" {
 					h.SetRunTag(sc.Name)
 				}
+			} else if opts.Obs != nil {
+				h = opts.Obs.JobScope(scopeLabels[i])
+				h.SetRunTag(sc.Name)
+			}
+			if opts.ProfileEpochs && h != nil && !sc.ProfileEpochs {
+				sc = sc.withProfiling()
 			}
 			r, err := sc.Run(ctx, h)
 			if cerr := h.Close(); err == nil && cerr != nil {

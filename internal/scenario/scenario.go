@@ -117,6 +117,11 @@ type Scenario struct {
 	BackendBuilder memsim.Builder `json:"-"`
 	// MaxEpochs bounds the run.
 	MaxEpochs int `json:"max_epochs,omitempty"`
+	// ProfileEpochs turns on the epoch phase profiler when an
+	// observability handle is attached to the run (no-op otherwise).
+	// Not serialised: profiling is a per-invocation choice (the CLI's
+	// -profile-epochs flag), not a property of the scripted scenario.
+	ProfileEpochs bool `json:"-"`
 	// SampleEvery is the timeline sampling cadence in epochs; event
 	// epochs are always sampled regardless.
 	SampleEvery int `json:"sample_every,omitempty"`

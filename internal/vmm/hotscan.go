@@ -3,6 +3,7 @@ package vmm
 import (
 	"math/bits"
 	"sort"
+	"time"
 
 	"heteroos/internal/guestos"
 	"heteroos/internal/memsim"
@@ -86,6 +87,9 @@ type Scanner struct {
 	index *HeatIndex
 	// obs, when attached, carries the scanner's observability probes.
 	obs *scannerProbes
+	// phases, when attached, records ranking-query wall time into the
+	// rank phase of the epoch profiler.
+	phases *obs.PhaseProfiler
 	// hotBuf/coldBuf back the index-served ranking results. Two buffers
 	// because the migrators hold a hot and a cold list simultaneously; a
 	// result is valid until the next call of the same polarity.
@@ -416,6 +420,16 @@ func (s *Scanner) rankIn(machine *memsim.Machine, tier memsim.Tier, hotFirst boo
 // index attached the result is served allocation-free from a reusable
 // buffer, valid until the next HottestIn call.
 func (s *Scanner) HottestIn(machine *memsim.Machine, tier memsim.Tier, max int) []guestos.PFN {
+	if s.phases != nil {
+		t0 := time.Now()
+		out := s.hottestIn(machine, tier, max)
+		s.phases.ObserveWallSince(obs.PhaseRank, t0)
+		return out
+	}
+	return s.hottestIn(machine, tier, max)
+}
+
+func (s *Scanner) hottestIn(machine *memsim.Machine, tier memsim.Tier, max int) []guestos.PFN {
 	if s.index != nil {
 		s.hotBuf = s.index.descendInto(s.hotBuf[:0], tier, s.HotThreshold, s.TrustGuestState, max)
 		return s.hotBuf
@@ -427,6 +441,16 @@ func (s *Scanner) HottestIn(machine *memsim.Machine, tier memsim.Tier, max int) 
 // coldest first. With an index attached the result shares CoolestIn's
 // reusable buffer, valid until the next ColdestIn/CoolestIn call.
 func (s *Scanner) ColdestIn(machine *memsim.Machine, tier memsim.Tier, max int) []guestos.PFN {
+	if s.phases != nil {
+		t0 := time.Now()
+		out := s.coldestIn(machine, tier, max)
+		s.phases.ObserveWallSince(obs.PhaseRank, t0)
+		return out
+	}
+	return s.coldestIn(machine, tier, max)
+}
+
+func (s *Scanner) coldestIn(machine *memsim.Machine, tier memsim.Tier, max int) []guestos.PFN {
 	if s.index != nil {
 		s.coldBuf = s.index.ascendInto(s.coldBuf[:0], tier, s.ColdThreshold, s.TrustGuestState, max)
 		return s.coldBuf
@@ -440,6 +464,16 @@ func (s *Scanner) ColdestIn(machine *memsim.Machine, tier memsim.Tier, max int) 
 // can still be the right page to displace for a write-hot one, and the
 // heat margin decides case by case.
 func (s *Scanner) CoolestIn(machine *memsim.Machine, tier memsim.Tier, max int) []guestos.PFN {
+	if s.phases != nil {
+		t0 := time.Now()
+		out := s.coolestIn(machine, tier, max)
+		s.phases.ObserveWallSince(obs.PhaseRank, t0)
+		return out
+	}
+	return s.coolestIn(machine, tier, max)
+}
+
+func (s *Scanner) coolestIn(machine *memsim.Machine, tier memsim.Tier, max int) []guestos.PFN {
 	if s.index != nil {
 		s.coldBuf = s.index.ascendInto(s.coldBuf[:0], tier, numHeatBuckets-1, s.TrustGuestState, max)
 		return s.coldBuf

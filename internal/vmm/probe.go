@@ -26,6 +26,16 @@ func (s *Scanner) AttachObs(scope *obs.Scope) {
 	}
 }
 
+// AttachPhases wires the epoch phase profiler into the scanner's
+// ranking queries: HottestIn/ColdestIn/CoolestIn wall time lands in
+// the rank phase, which is how ranking cost is attributed in both
+// migration modes (the VMM-exclusive rebalance and the coordinated
+// pass both rank through the scanner). A nil profiler leaves the
+// queries untimed.
+func (s *Scanner) AttachPhases(p *obs.PhaseProfiler) {
+	s.phases = p
+}
+
 // record accounts one finished scan pass and emits its event (the pass
 // is the unit here, not the page: a per-page event would be pure ring
 // pressure with no analytical value).

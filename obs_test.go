@@ -128,20 +128,20 @@ func TestEventStreamReconcilesWithResult(t *testing.T) {
 	// Metrics agree with the event stream: the registry's counters are
 	// fed at the same chokepoints.
 	snap := handle.Metrics.Snapshot()
-	if v := snap.Find("vm1.guestos.promotions"); v == nil || uint64(v.Value) != res.Promotions {
-		t.Errorf("metric vm1.guestos.promotions = %+v, want %d", v, res.Promotions)
+	if v := snap.Find("vm1/guestos.promotions"); v == nil || uint64(v.Value) != res.Promotions {
+		t.Errorf("metric vm1/guestos.promotions = %+v, want %d", v, res.Promotions)
 	}
-	if v := snap.Find("vm1.guestos.demotions"); v == nil || uint64(v.Value) != res.Demotions {
-		t.Errorf("metric vm1.guestos.demotions = %+v, want %d", v, res.Demotions)
+	if v := snap.Find("vm1/guestos.demotions"); v == nil || uint64(v.Value) != res.Demotions {
+		t.Errorf("metric vm1/guestos.demotions = %+v, want %d", v, res.Demotions)
 	}
-	if v := snap.Find("vm1.core.epochs"); v == nil || int(v.Value) != res.Epochs {
-		t.Errorf("metric vm1.core.epochs = %+v, want %d", v, res.Epochs)
+	if v := snap.Find("vm1/core.epochs"); v == nil || int(v.Value) != res.Epochs {
+		t.Errorf("metric vm1/core.epochs = %+v, want %d", v, res.Epochs)
 	}
 	if v := snap.Find("memsim.charges"); v == nil || int(v.Value) != res.Epochs {
 		t.Errorf("metric memsim.charges = %+v, want %d", v, res.Epochs)
 	}
-	if v := snap.Find("vm1.vmm.scan_passes"); v == nil || int(v.Value) != res.ScanPasses {
-		t.Errorf("metric vm1.vmm.scan_passes = %+v, want %d", v, res.ScanPasses)
+	if v := snap.Find("vm1/vmm.scan_passes"); v == nil || int(v.Value) != res.ScanPasses {
+		t.Errorf("metric vm1/vmm.scan_passes = %+v, want %d", v, res.ScanPasses)
 	}
 
 	// The Chrome export is one valid JSON array whose records all carry
