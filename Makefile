@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build test vet race check obs-parity scenario-smoke backend-parity \
-	snapshot-parity fuzz-smoke bench bench-all bench-json bench-guard figures
+	snapshot-parity fuzz-smoke fleet-smoke bench bench-all bench-json bench-guard figures
 
 all: check
 
@@ -14,13 +14,15 @@ vet:
 test:
 	$(GO) test ./...
 
-# The runner, core, and scenario packages are the concurrency-bearing
-# ones: the worker pool, futures, progress callbacks, per-epoch context
-# checks, and scenario batches all live there, so they get a dedicated
+# The runner, core, scenario, and fleet packages are the
+# concurrency-bearing ones: the worker pool, futures, progress
+# callbacks, per-epoch context checks, scenario batches, and the fleet's
+# pooled host-stepping barrier all live there, so they get a dedicated
 # race pass. vmm rides along since its scanner/index state is shared
 # with the sweep jobs.
 race:
-	$(GO) test -race ./internal/runner ./internal/core ./internal/vmm/... ./internal/scenario
+	$(GO) test -race ./internal/runner ./internal/core ./internal/vmm/... ./internal/scenario \
+		./internal/fleet
 	$(GO) test -race -run 'Backend|Coarse|Replay|Record|Trace|GainSweep' \
 		./internal/memsim ./internal/exp
 
@@ -119,6 +121,24 @@ snapshot-parity:
 fuzz-smoke:
 	$(GO) test -run 'TestFuzzSmoke|TestCommittedRepro' -count=1 ./internal/scenario
 
+# fleet-smoke runs the 1000-host / 10000-VM churn script end-to-end
+# through the CLI at two worker counts and requires byte-identical
+# output — the fleet layer's determinism contract at datacenter scale
+# (boot storms, a surge wave, three host failures with mass evacuation,
+# and a 500-VM drain, all under the coarse backend).
+fleet-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/heterosim" ./cmd/heterosim || exit 1; \
+	"$$tmp/heterosim" -fleet fleet-churn-1k.json -workers 1 -format=csv \
+		> "$$tmp/w1.csv" || exit 1; \
+	"$$tmp/heterosim" -fleet fleet-churn-1k.json -workers 4 -format=csv \
+		> "$$tmp/w4.csv" || exit 1; \
+	if ! cmp -s "$$tmp/w1.csv" "$$tmp/w4.csv"; then \
+		echo "fleet-smoke: 1k-host fleet output differs across worker counts:"; \
+		diff "$$tmp/w1.csv" "$$tmp/w4.csv" | head -20; exit 1; \
+	fi; \
+	echo "fleet-smoke: fleet-churn-1k byte-identical at 1 and 4 workers"
+
 # backend-parity pins the default machine-model backend to the seed:
 # the analytic backend (explicitly selected, exercising the -backend
 # flag path) must reproduce the committed figure CSVs byte-for-byte.
@@ -144,27 +164,29 @@ backend-parity:
 # test suite, the race detector over the concurrent packages, the
 # observability no-perturbation check, the scenario smoke run, the
 # machine-model backend parity gate, the checkpoint/restore parity
-# gate, and the fuzz seed-band smoke run.
+# gate, the fuzz seed-band smoke run, and the datacenter-scale fleet
+# determinism smoke run.
 check: vet build test race obs-parity scenario-smoke backend-parity \
-	snapshot-parity fuzz-smoke
+	snapshot-parity fuzz-smoke fleet-smoke
 
 # bench runs the ranking, scan, and figure9-sweep benchmarks at
 # benchstat-grade repetition: save the output before and after a change
 # and compare the two files with benchstat.
 bench:
-	$(GO) test -run=NONE -bench='HottestIn|ColdestIn|HotScan|ScanNext|SweepFigure9|EpochPricing|Obs' \
+	$(GO) test -run=NONE -bench='HottestIn|ColdestIn|HotScan|ScanNext|SweepFigure9|EpochPricing|Obs|FleetEpochRound' \
 		-benchmem -count=5 .
 
 # bench-json regenerates the committed perf-trajectory baselines: the
 # analytic-side benchmarks into BENCH_analytic.json, the coarse backend
 # (with its epoch-pricing speedup over analytic) into BENCH_coarse.json,
 # the word-at-a-time scan (with its speedup over the per-page reference
-# path) into BENCH_scan.json, and the observability aggregation path
+# path) into BENCH_scan.json, the observability aggregation path
 # (direct scope rollup, its speedup over the snapshot merge fold, and
-# the OpenMetrics encoder) into BENCH_obs.json.
+# the OpenMetrics encoder) into BENCH_obs.json, and the fleet epoch
+# round (pooled barrier over its serial twin) into BENCH_fleet.json.
 bench-json:
 	@tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
-	$(GO) test -run=NONE -bench='HottestIn|ColdestIn|HotScan|ScanNext|SweepFigure9|EpochPricing|Obs' \
+	$(GO) test -run=NONE -bench='HottestIn|ColdestIn|HotScan|ScanNext|SweepFigure9|EpochPricing|Obs|FleetEpochRound' \
 		-benchmem -count=5 . > "$$tmp" || { cat "$$tmp"; exit 1; }; \
 	$(GO) run ./cmd/benchjson -label analytic \
 		-match 'HottestIn|ColdestIn|HotScan|SweepFigure9Workers|EpochPricingAnalytic' \
@@ -181,7 +203,11 @@ bench-json:
 		-match 'ObsRollup|ObsOpenMetrics' \
 		-speedup ObsRollupDirect=ObsRollupMergeFold \
 		< "$$tmp" > BENCH_obs.json || exit 1; \
-	echo "bench-json: wrote BENCH_analytic.json BENCH_coarse.json BENCH_scan.json BENCH_obs.json"
+	$(GO) run ./cmd/benchjson -label fleet \
+		-match 'FleetEpochRound' \
+		-speedup FleetEpochRound=FleetEpochRoundWorkers1 \
+		< "$$tmp" > BENCH_fleet.json || exit 1; \
+	echo "bench-json: wrote BENCH_analytic.json BENCH_coarse.json BENCH_scan.json BENCH_obs.json BENCH_fleet.json"
 
 # bench-guard re-runs the speedup-pair benchmarks and fails if either
 # committed factor regressed more than 5%: coarse-over-analytic epoch
@@ -196,6 +222,8 @@ bench-guard:
 		| $(GO) run ./cmd/benchjson -guard BENCH_scan.json -tolerance 0.05
 	@$(GO) test -run=NONE -bench='ObsRollup' -benchmem -count=3 . \
 		| $(GO) run ./cmd/benchjson -guard BENCH_obs.json -tolerance 0.05
+	@$(GO) test -run=NONE -bench='FleetEpochRound' -benchmem -count=3 . \
+		| $(GO) run ./cmd/benchjson -guard BENCH_fleet.json -tolerance 0.05
 
 # bench-all smoke-runs every benchmark once (artifact regeneration
 # included), trading statistical weight for coverage.

@@ -21,6 +21,7 @@ import (
 
 	"heteroos/internal/core"
 	"heteroos/internal/exp"
+	"heteroos/internal/fleet"
 	"heteroos/internal/guestos"
 	"heteroos/internal/memsim"
 	"heteroos/internal/obs"
@@ -766,3 +767,58 @@ func BenchmarkObsOpenMetricsEncode(b *testing.B) {
 		}
 	}
 }
+
+// --- Fleet: lock-step epoch rounds across a simulated datacenter ---
+
+// benchFleetScript is a steady-state fleet shape for round timing: 16
+// memlat VMs across 8 hosts at high scale, one epoch per round, sized
+// so every VM is busy for exactly the script's 20 rounds (memlat's
+// fixed epoch budget) — no idle-host tail distorts the per-round cost.
+func benchFleetScript() *fleet.Script {
+	return &fleet.Script{
+		Name: "bench", Seed: 1, Hosts: 8, Rounds: 20, RoundEpochs: 1, Scale: 512,
+		Host:      fleet.HostDesc{FastFrames: 6144, SlowFrames: 12800},
+		Placement: fleet.PlacementPressurePack,
+		VMs: []fleet.VMGroup{{
+			App: "memlat", Mode: "HeteroOS-coordinated", Count: 16,
+			FastPages: 512, SlowPages: 1024,
+		}},
+	}
+}
+
+// benchFleetEpochRound times one fleet StepRound: event application,
+// placement, and the pooled host-stepping barrier. The cluster is
+// rebuilt off the clock whenever its workloads run out of rounds.
+func benchFleetEpochRound(b *testing.B, workers int) {
+	b.Helper()
+	sc := benchFleetScript()
+	ctx := context.Background()
+	opts := fleet.Options{Workers: workers}
+	cl, err := fleet.NewCluster(sc, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rounds := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rounds == sc.Rounds {
+			b.StopTimer()
+			if cl, err = fleet.NewCluster(sc, opts); err != nil {
+				b.Fatal(err)
+			}
+			rounds = 0
+			b.StartTimer()
+		}
+		if err := cl.StepRound(ctx); err != nil {
+			b.Fatal(err)
+		}
+		rounds++
+	}
+}
+
+// The pooled round against its serial (1-worker) twin: the speedup pair
+// guards the pool dispatch overhead per round — the ratio can only grow
+// with core count, so a regression means the barrier itself got more
+// expensive.
+func BenchmarkFleetEpochRound(b *testing.B)         { benchFleetEpochRound(b, runtime.GOMAXPROCS(0)) }
+func BenchmarkFleetEpochRoundWorkers1(b *testing.B) { benchFleetEpochRound(b, 1) }

@@ -17,6 +17,15 @@
 //	heterosim -scenario degrade.json -events=out.jsonl
 //	heterosim -scenarios                # list bundled scenarios
 //
+// Fleet mode (see DESIGN.md §5j) simulates a whole datacenter instead
+// of one host: N hosts advance in lock-step rounds with cross-host VM
+// live migration, pluggable placement policies, and host failures with
+// mass evacuation. Results are byte-identical for any -workers value:
+//
+//	heterosim -fleet fleet-churn.json
+//	heterosim -fleet fleet-churn-1k.json -workers 8
+//	heterosim -fleets                   # list bundled fleet scripts
+//
 // Checkpoint/restore (see DESIGN.md §5g): periodic checkpoints write
 // the full system + engine state; -restore resumes one and produces
 // output byte-identical to the uninterrupted run's remainder:
@@ -53,6 +62,7 @@ import (
 	"os/signal"
 
 	"heteroos/internal/core"
+	"heteroos/internal/fleet"
 	"heteroos/internal/memsim"
 	"heteroos/internal/obs"
 	"heteroos/internal/policy"
@@ -72,6 +82,9 @@ func main() {
 		listModes = flag.Bool("modes", false, "list mode names and exit")
 		scenarioF = flag.String("scenario", "", "run a JSON scenario file (bundled names resolve from any directory)")
 		listScens = flag.Bool("scenarios", false, "list bundled scenario names and exit")
+		fleetF    = flag.String("fleet", "", "run a JSON fleet script (bundled names resolve from any directory)")
+		listFlts  = flag.Bool("fleets", false, "list bundled fleet script names and exit")
+		workersF  = flag.Int("workers", 0, "fleet host-stepping goroutines (0 = GOMAXPROCS); any value yields the identical result")
 		trace     = flag.Bool("trace", false, "print a per-epoch time series")
 		format    = flag.String("format", "text", "trace/metrics table format: text, csv, or markdown")
 		events    = flag.String("events", "", "write structured events as JSON lines to this file")
@@ -96,6 +109,12 @@ func main() {
 	}
 	if *listScens {
 		for _, name := range scenario.Bundled() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *listFlts {
+		for _, name := range fleet.Bundled() {
 			fmt.Println(name)
 		}
 		return
@@ -126,6 +145,35 @@ func main() {
 	ck := scenario.CheckpointOptions{Every: *ckEvery, Path: *ckPath}
 	of := obsFlags{events: *events, chrome: *chrome, metricsF: *metricsF,
 		listen: *listenF, profile: *profileF, format: *format}
+
+	if *fleetF != "" {
+		if *scenarioF != "" || *restoreF != "" {
+			fmt.Fprintln(os.Stderr, "heterosim: -fleet is mutually exclusive with -scenario and -restore")
+			os.Exit(2)
+		}
+		if *recordF != "" || *replayF != "" {
+			fmt.Fprintln(os.Stderr, "heterosim: -fleet does not support trace record/replay backends")
+			os.Exit(2)
+		}
+		if *profileF {
+			fmt.Fprintln(os.Stderr, "heterosim: -profile-epochs is not supported with -fleet")
+			os.Exit(2)
+		}
+		// -seed and -backend override the script's own fields only when
+		// passed explicitly, exactly as for scenarios.
+		var seedOverride *uint64
+		backendName := ""
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "seed":
+				seedOverride = seed
+			case "backend":
+				backendName = *backendF
+			}
+		})
+		runFleet(*fleetF, seedOverride, backendName, *workersF, of)
+		return
+	}
 
 	build, closeBackend, err := buildBackend(*backendF, *recordF, *replayF)
 	if err != nil {
@@ -327,6 +375,82 @@ func runRestore(path string, ck scenario.CheckpointOptions, closeBackend func() 
 	executeScenario(runTag, func(ctx context.Context, h *obs.Obs) (*scenario.Result, error) {
 		return scenario.Resume(ctx, rd, h, ck)
 	}, closeBackend, of)
+}
+
+// runFleet executes a fleet script: N hosts in lock-step rounds with
+// live migration and placement (see internal/fleet). Per-VM rows print
+// only for small fleets; at datacenter scale the per-app aggregate,
+// migration log, and timeline carry the story.
+func runFleet(path string, seedOverride *uint64, backendName string, workers int, of obsFlags) {
+	sc, err := fleet.LoadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heterosim:", err)
+		os.Exit(2)
+	}
+	if seedOverride != nil {
+		sc.Seed = *seedOverride
+	}
+	if backendName != "" {
+		sc.Host.Backend = backendName
+	}
+	runTag := fmt.Sprintf("fleet/%s seed=%d", sc.Name, sc.Seed)
+	handle, closeObs := newObsHandle(runTag, of)
+	closeServer := serveMetrics(handle, of.listen)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	r, err := fleet.Run(ctx, sc, fleet.Options{Workers: workers, Obs: handle})
+	if err != nil {
+		closeServer()
+		closeObs()
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "heterosim: interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "heterosim:", err)
+		os.Exit(3)
+	}
+
+	completed, lost, heat := 0, 0, 0
+	for i := range r.VMs {
+		if r.VMs[i].Completed {
+			completed++
+		}
+		if r.VMs[i].Lost {
+			lost++
+		}
+	}
+	evacuations := 0
+	for i := range r.Migrations {
+		if r.Migrations[i].Evacuation {
+			evacuations++
+		}
+		if r.Migrations[i].HeatPreserved {
+			heat++
+		}
+	}
+	fmt.Printf("fleet %s: %d hosts, %d VMs over %d rounds, seed %d, placement %s\n",
+		r.Name, r.Hosts, len(r.VMs), r.Rounds, r.Seed, r.Placement)
+	fmt.Printf("  completed %d  lost %d  migrations %d (%d evacuations, %d heat-preserved)\n",
+		completed, lost, len(r.Migrations), evacuations, heat)
+	fmt.Println()
+	renderTable(r.AppTable(), of.format, os.Stdout)
+	if len(r.VMs) <= 64 {
+		fmt.Println()
+		renderTable(r.Table(), of.format, os.Stdout)
+	}
+	if n := len(r.Migrations); n > 0 && n <= 200 {
+		fmt.Println()
+		renderTable(r.MigrationTable(), of.format, os.Stdout)
+	}
+	fmt.Println()
+	renderTable(r.TimelineTable(), of.format, os.Stdout)
+
+	if of.metricsF != "" {
+		writeMetrics(handle, of.metricsF)
+	}
+	closeServer()
+	closeObs()
 }
 
 // executeScenario drives one scenario run (fresh or resumed) under

@@ -11,6 +11,7 @@
 //	heterotrace -format csv run.jsonl          # machine-readable tables
 //	heterotrace -format json run.jsonl         # one JSON document
 //	heterosim -scenario churn.json -events=/dev/stdout | heterotrace -
+//	gzip run.jsonl && heterotrace run.jsonl.gz  # gzip input is sniffed
 //
 // The analyzer's per-VM migration page totals reconcile exactly with
 // the run's reported VMResult promotions/demotions when the full event
@@ -21,6 +22,8 @@
 package main
 
 import (
+	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -77,6 +80,11 @@ func main() {
 		in, name = f, flag.Arg(0)
 	}
 
+	in, err := maybeGunzip(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "heterotrace: %s: %v\n", name, err)
+		os.Exit(2)
+	}
 	tr, err := obs.ParseJSONL(in)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "heterotrace: %s: %v\n", name, err)
@@ -125,6 +133,28 @@ func main() {
 	if want("refusals") {
 		emit(obs.RefusalTable(tr.RefusalRuns()))
 	}
+}
+
+// maybeGunzip sniffs the stream's first two bytes and transparently
+// decompresses gzip input (traces are routinely compressed for
+// archival: `gzip run.jsonl; heterotrace run.jsonl.gz`). Detection is
+// by the gzip magic, not the file name, so compressed stdin works too;
+// anything else passes through untouched.
+func maybeGunzip(in io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(in)
+	magic, err := br.Peek(2)
+	if err != nil {
+		// Short or empty input: not gzip; let the JSONL parser report it.
+		return br, nil
+	}
+	if magic[0] != 0x1f || magic[1] != 0x8b {
+		return br, nil
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("gzip input: %w", err)
+	}
+	return zr, nil
 }
 
 // totalsTable renders the per-VM migration page totals that reconcile

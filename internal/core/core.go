@@ -98,6 +98,11 @@ type Config struct {
 	// into per-VM "phase.*" histograms. Off by default — even with obs
 	// on, runs skip the extra time.Now calls unless asked to profile.
 	ProfileEpochs bool
+	// AllowNoVMs permits booting a system with an empty VM set. The
+	// fleet layer boots hosts empty and populates them mid-run through
+	// BootVM/ImmigrateVM; ordinary single-host runs keep the zero-VM
+	// misconfiguration guard.
+	AllowNoVMs bool
 	// Backend builds the machine-model backend the system prices epochs
 	// with. nil defaults to memsim.AnalyticBackend — the Table-3
 	// fidelity reference. NewSystem invokes the builder once, with the
@@ -191,7 +196,7 @@ func (c *Config) Validate() error {
 	default:
 		return fmt.Errorf("core: unknown share policy %q", c.Share)
 	}
-	if len(c.VMs) == 0 {
+	if len(c.VMs) == 0 && !c.AllowNoVMs {
 		return errors.New("core: no VMs configured")
 	}
 	seen := make(map[vmm.VMID]bool, len(c.VMs))
@@ -250,7 +255,12 @@ type VMInstance struct {
 
 	Clock sim.Clock
 	Done  bool
-	Res   VMResult
+	// MigratedOut marks a Departed stub left behind by EmigrateVM: the
+	// VM continues on another host, the stub only retires the ID here
+	// (and carries a zero result so per-host sums never double-count).
+	// ImmigrateVM un-retires such a stub if the VM migrates back.
+	MigratedOut bool
+	Res         VMResult
 	// TraceLog holds the per-epoch series when Config.Trace is set.
 	TraceLog []EpochTrace
 

@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFirstFitPlaceBoot(t *testing.T) {
+	vm := VMView{ID: 1, FastPages: 4, SlowPages: 4}
+	hosts := []HostView{
+		{ID: 0, FastFrames: 10, SlowFrames: 10, FastCommitted: 8},
+		{ID: 1, FastFrames: 10, SlowFrames: 10},
+		{ID: 2, FastFrames: 10, SlowFrames: 10},
+	}
+	if got := (firstFit{}).PlaceBoot(vm, hosts); got != 1 {
+		t.Errorf("first-fit picked host %d, want the lowest-id fitting host 1", got)
+	}
+	hosts[0].FastCommitted = 0
+	if got := (firstFit{}).PlaceBoot(vm, hosts); got != 0 {
+		t.Errorf("first-fit picked host %d, want 0", got)
+	}
+	hosts[0].Failed = true
+	if got := (firstFit{}).PlaceBoot(vm, hosts); got != 1 {
+		t.Errorf("first-fit picked failed host: got %d, want 1", got)
+	}
+	for i := range hosts {
+		hosts[i].FastCommitted = 8
+	}
+	if got := (firstFit{}).PlaceBoot(vm, hosts); got != -1 {
+		t.Errorf("first-fit found room on a full fleet: got %d", got)
+	}
+	if moves := (firstFit{}).Rebalance(hosts, nil); moves != nil {
+		t.Errorf("first-fit should never rebalance, got %v", moves)
+	}
+}
+
+func TestPressurePackPlaceBootBestFit(t *testing.T) {
+	vm := VMView{ID: 1, FastPages: 10, SlowPages: 5}
+	hosts := []HostView{
+		{ID: 0, FastFrames: 100, SlowFrames: 100, FastCommitted: 50},
+		{ID: 1, FastFrames: 100, SlowFrames: 100, FastCommitted: 88},
+		{ID: 2, FastFrames: 100, SlowFrames: 100, FastCommitted: 90},
+		// Tightest on fast, but the slow span does not fit.
+		{ID: 3, FastFrames: 100, SlowFrames: 100, FastCommitted: 90, SlowCommitted: 97},
+	}
+	if got := (pressurePack{}).PlaceBoot(vm, hosts); got != 2 {
+		t.Errorf("pressure-pack picked host %d, want the tightest feasible host 2", got)
+	}
+}
+
+func TestPressurePackRebalanceDrainsHighWater(t *testing.T) {
+	hosts := []HostView{
+		{ID: 0, FastFrames: 100, SlowFrames: 100, FastCommitted: 96, SlowCommitted: 50, VMs: 2},
+		{ID: 1, FastFrames: 100, SlowFrames: 100, FastCommitted: 10, SlowCommitted: 10, VMs: 1},
+	}
+	vms := []VMView{
+		{ID: 1, Host: 0, FastPages: 64, SlowPages: 30},
+		{ID: 2, Host: 0, FastPages: 32, SlowPages: 20},
+		{ID: 3, Host: 1, FastPages: 10, SlowPages: 10},
+	}
+	moves := (pressurePack{}).Rebalance(hosts, vms)
+	want := []Move{{VM: 2, To: 1}}
+	if !reflect.DeepEqual(moves, want) {
+		t.Errorf("rebalance = %v, want %v (drain the smallest VM off the packed host)", moves, want)
+	}
+}
+
+func TestPressurePackRebalanceLeavesBalancedFleet(t *testing.T) {
+	hosts := []HostView{
+		{ID: 0, FastFrames: 100, SlowFrames: 100, FastCommitted: 60, VMs: 1},
+		{ID: 1, FastFrames: 100, SlowFrames: 100, FastCommitted: 50, VMs: 1},
+	}
+	vms := []VMView{
+		{ID: 1, Host: 0, FastPages: 60},
+		{ID: 2, Host: 1, FastPages: 50},
+	}
+	if moves := (pressurePack{}).Rebalance(hosts, vms); len(moves) != 0 {
+		t.Errorf("no host is past the high-water mark, yet rebalance proposed %v", moves)
+	}
+}
+
+func TestDRFRebalanceLevelsDominantLoad(t *testing.T) {
+	hosts := []HostView{
+		{ID: 0, FastFrames: 100, SlowFrames: 100, FastCommitted: 80, SlowCommitted: 20, VMs: 2},
+		{ID: 1, FastFrames: 100, SlowFrames: 100, FastCommitted: 10, SlowCommitted: 5, VMs: 1},
+	}
+	vms := []VMView{
+		{ID: 1, Host: 0, FastPages: 50, SlowPages: 10},
+		{ID: 2, Host: 0, FastPages: 30, SlowPages: 10},
+		{ID: 3, Host: 1, FastPages: 10, SlowPages: 5},
+	}
+	moves := (drfRebalance{}).Rebalance(hosts, vms)
+	want := []Move{{VM: 2, To: 1}}
+	if !reflect.DeepEqual(moves, want) {
+		t.Errorf("rebalance = %v, want %v (one leveling move closes the spread)", moves, want)
+	}
+}
+
+func TestDRFRebalanceRespectsSpreadThreshold(t *testing.T) {
+	hosts := []HostView{
+		{ID: 0, FastFrames: 100, SlowFrames: 100, FastCommitted: 40, VMs: 1},
+		{ID: 1, FastFrames: 100, SlowFrames: 100, FastCommitted: 25, VMs: 1},
+	}
+	vms := []VMView{
+		{ID: 1, Host: 0, FastPages: 40},
+		{ID: 2, Host: 1, FastPages: 25},
+	}
+	if moves := (drfRebalance{}).Rebalance(hosts, vms); len(moves) != 0 {
+		t.Errorf("spread 0.15 is under the threshold, yet rebalance proposed %v", moves)
+	}
+}
+
+func TestPlacementByName(t *testing.T) {
+	for _, name := range PlacementNames() {
+		p, err := PlacementByName(name)
+		if err != nil {
+			t.Errorf("PlacementByName(%q): %v", name, err)
+			continue
+		}
+		if p.Name() != name {
+			t.Errorf("PlacementByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := PlacementByName("round-robin"); err == nil {
+		t.Error("unknown placement name should error")
+	}
+}

@@ -810,6 +810,17 @@ func (o *OS) Teardown() uint64 {
 	return uint64(len(mfns))
 }
 
+// ForEachBacked calls fn for every guest page that currently holds a
+// backing machine frame, in ascending PFN order. Cross-host migration
+// uses it to enumerate the frame footprint an image must carry.
+func (o *OS) ForEachBacked(fn func(pfn PFN, mfn memsim.MFN)) {
+	for pfn := PFN(0); pfn < PFN(o.store.Len()); pfn++ {
+		if mfn := o.store.MFN(pfn); mfn != memsim.NilMFN {
+			fn(pfn, mfn)
+		}
+	}
+}
+
 // P2MEmpty verifies no page still holds a backing frame; a departed VM
 // must satisfy it (System.CheckInvariants asserts this after shutdown).
 func (o *OS) P2MEmpty() error {

@@ -100,6 +100,16 @@ func (o *OS) SnapshotState(e *snapshot.Encoder) {
 // attached PageIndexer is NOT notified — the caller must re-seed or
 // re-attach it afterwards.
 func (o *OS) RestoreState(d *snapshot.Decoder) error {
+	return o.RestoreStateMapped(d, nil)
+}
+
+// RestoreStateMapped is RestoreState with an MFN translation applied to
+// the P2M column as it is decoded: every serialized machine frame
+// number is passed through mapMFN before landing in the page store.
+// Cross-host live migration uses this to rebind a guest image onto the
+// destination host's frames; the map must cover every backed MFN in the
+// image and leave NilMFN fixed. A nil mapMFN is the identity.
+func (o *OS) RestoreStateMapped(d *snapshot.Decoder, mapMFN func(memsim.MFN) memsim.MFN) error {
 	var st [4]uint64
 	for i := range st {
 		st[i] = d.U64()
@@ -119,7 +129,7 @@ func (o *OS) RestoreState(d *snapshot.Decoder) error {
 		return err
 	}
 
-	if err := o.restoreStore(d); err != nil {
+	if err := o.restoreStore(d, mapMFN); err != nil {
 		return err
 	}
 
@@ -283,7 +293,7 @@ func (o *OS) snapshotStore(e *snapshot.Encoder) {
 	}
 }
 
-func (o *OS) restoreStore(d *snapshot.Decoder) error {
+func (o *OS) restoreStore(d *snapshot.Decoder, mapMFN func(memsim.MFN) memsim.MFN) error {
 	st := o.store
 	if n := d.U64(); n != st.Len() {
 		return fmt.Errorf("guestos: snapshot store spans %d frames, OS has %d", n, st.Len())
@@ -298,7 +308,11 @@ func (o *OS) restoreStore(d *snapshot.Decoder) error {
 		pfns[i] = PFN(pfn)
 	}
 	for _, pfn := range pfns {
-		st.SetMFN(pfn, memsim.MFN(d.U64()))
+		mfn := memsim.MFN(d.U64())
+		if mapMFN != nil {
+			mfn = mapMFN(mfn)
+		}
+		st.SetMFN(pfn, mfn)
 	}
 	for _, pfn := range pfns {
 		st.SetKind(pfn, PageKind(d.U8()))

@@ -73,6 +73,16 @@ const (
 	// migration engine is stalled; Aux counts consecutive stalled passes
 	// (the retry/backoff position).
 	EvMigrationStall
+	// EvVMMigrateOut is a VM departing a host via cross-host live
+	// migration: captured into a VMImage and torn down locally. Emitted
+	// on the system scope; Aux is the migrating VM id and N the number
+	// of machine frames released on the source host.
+	EvVMMigrateOut
+	// EvVMMigrateIn is a VM arriving on a host via cross-host live
+	// migration: its image re-materialized onto local frames. Emitted on
+	// the system scope; Aux is the VM id and N the number of machine
+	// frames adopted on the destination host.
+	EvVMMigrateIn
 	numTypes
 )
 
@@ -135,6 +145,10 @@ func (t Type) String() string {
 		return "balloon-refused"
 	case EvMigrationStall:
 		return "migration-stall"
+	case EvVMMigrateOut:
+		return "vm-migrate-out"
+	case EvVMMigrateIn:
+		return "vm-migrate-in"
 	default:
 		return "unknown"
 	}

@@ -50,6 +50,26 @@ func (o *Obs) JobScope(label string) *Obs {
 	return c
 }
 
+// NestedJobScope is JobScope for hierarchical identities: each segment
+// becomes one scope level, so NestedJobScope("host", "3") lands the
+// child's metrics under "host/3/..." of the parent tree. A fleet of
+// hosts then shares one "host" subtree, and the parent's Snapshot can
+// slice per host or Rollup across all of them. Like JobScope, the
+// child gets its own tracer (tracers are single-goroutine) and closing
+// it closes only that tracer.
+func (o *Obs) NestedJobScope(segments ...string) *Obs {
+	if o == nil {
+		return nil
+	}
+	reg := o.Metrics
+	for _, seg := range segments {
+		reg = reg.Scope(sanitizeScope(seg))
+	}
+	c := &Obs{Tracer: NewTracer(0), Metrics: reg, runTag: strings.Join(segments, ScopeSep)}
+	c.Tracer.dropCounter = reg.Counter(DroppedCounterName)
+	return c
+}
+
 // sanitizeScope makes label a single scope-path segment: ScopeSep
 // would silently split it into two levels, so it is replaced.
 func sanitizeScope(label string) string {

@@ -107,13 +107,24 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// DeriveSeed maps a batch seed and a job index to that job's simulation
-// seed via a splitmix64 step — stable across runs and worker counts.
-func DeriveSeed(batchSeed uint64, index int) uint64 {
-	z := batchSeed + uint64(index+1)*0x9e3779b97f4a7c15
+// Mix64 is the splitmix64 output finalizer: a full-avalanche bijection
+// on uint64, so distinct inputs always map to distinct outputs and
+// every output bit depends on every input bit. It is the mixing core
+// behind DeriveSeed and the fleet host-seed derivation; use it whenever
+// a family of decorrelated seeds must be carved out of one root seed.
+func Mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed maps a batch seed and a job index to that job's simulation
+// seed via a splitmix64 step — stable across runs and worker counts.
+// The golden-weyl increment spaces consecutive indices far apart in the
+// input domain before Mix64 avalanches them; zero is remapped because
+// zero seeds mean "derive from the batch seed" throughout the tree.
+func DeriveSeed(batchSeed uint64, index int) uint64 {
+	z := Mix64(batchSeed + uint64(index+1)*0x9e3779b97f4a7c15)
 	if z == 0 {
 		z = 1
 	}

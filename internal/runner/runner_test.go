@@ -262,6 +262,63 @@ func TestBatchSeedDerivation(t *testing.T) {
 	}
 }
 
+// TestDeriveSeedPopulation hardens seed derivation for fleet-scale
+// populations: 100k derived seeds (batch seeds 0..9 × indices 0..9999)
+// must be pairwise distinct, and the low bits must look independent of
+// the index — an additive-only derivation fails both (consecutive
+// indices differ by a constant, so low bits cycle with period 2^k).
+func TestDeriveSeedPopulation(t *testing.T) {
+	const batches, per = 10, 10000
+	seen := make(map[uint64][2]int, batches*per)
+	var lowBitOnes [8]int // popcount of bit b over the whole population
+	parityMatch := 0      // how often seed bit 0 equals index bit 0
+	for b := 0; b < batches; b++ {
+		for i := 0; i < per; i++ {
+			s := DeriveSeed(uint64(b), i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("DeriveSeed(%d,%d) == DeriveSeed(%d,%d) == %#x",
+					b, i, prev[0], prev[1], s)
+			}
+			seen[s] = [2]int{b, i}
+			for bit := 0; bit < 8; bit++ {
+				lowBitOnes[bit] += int((s >> bit) & 1)
+			}
+			if (s^uint64(i))&1 == 0 {
+				parityMatch++
+			}
+		}
+	}
+	total := batches * per
+	// Each low bit should be set ~50% of the time; 4 standard deviations
+	// of a fair coin over 100k draws is ~0.63%, allow 2%.
+	for bit, ones := range lowBitOnes {
+		frac := float64(ones) / float64(total)
+		if frac < 0.48 || frac > 0.52 {
+			t.Errorf("bit %d set in %.4f of derived seeds, want ~0.5", bit, frac)
+		}
+	}
+	// Seed parity must not track index parity.
+	if frac := float64(parityMatch) / float64(total); frac < 0.48 || frac > 0.52 {
+		t.Errorf("seed bit0 matches index bit0 in %.4f of draws, want ~0.5", frac)
+	}
+}
+
+// TestMix64Bijection spot-checks that Mix64 is collision-free on a
+// dense low range and on the DeriveSeed golden-weyl lattice — the two
+// input families the repo feeds it.
+func TestMix64Bijection(t *testing.T) {
+	seen := make(map[uint64]uint64, 1<<16)
+	for i := uint64(0); i < 1<<15; i++ {
+		for _, in := range []uint64{i, i * 0x9e3779b97f4a7c15} {
+			out := Mix64(in)
+			if prev, dup := seen[out]; dup && prev != in {
+				t.Fatalf("Mix64(%#x) == Mix64(%#x) == %#x", in, prev, out)
+			}
+			seen[out] = in
+		}
+	}
+}
+
 func mustWorkload(t testing.TB, name string, seed uint64) workload.Workload {
 	t.Helper()
 	w, err := workload.ByName(name, workload.Config{Seed: seed})

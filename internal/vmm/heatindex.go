@@ -80,6 +80,10 @@ func NewHeatIndex(s *Scanner, tierOf func(memsim.MFN) memsim.Tier) *HeatIndex {
 	return x
 }
 
+// Index returns the heat index attached to the scanner, or nil when
+// ranking still runs through the sweep-and-sort fallback.
+func (s *Scanner) Index() *HeatIndex { return s.index }
+
 // Rebuild clears the index and reseeds it from a full snapshot sweep.
 func (x *HeatIndex) Rebuild() {
 	for t := range x.buckets {
@@ -269,6 +273,28 @@ func (x *HeatIndex) ascendInto(buf []guestos.PFN, tier memsim.Tier, maxScore uin
 
 // Count reports indexed pages on tier (tests, diagnostics).
 func (x *HeatIndex) Count(tier memsim.Tier) uint64 { return x.counts[tier] }
+
+// HeatSummary is a comparable fingerprint of an index: indexed-page
+// counts per (tier, score bucket). Two indexes over equivalent guest
+// state — identical per-PFN heat, free flags, and tier backing — yield
+// equal summaries, which is how cross-host migration tests assert a
+// VM's heat profile survived the move.
+type HeatSummary struct {
+	Buckets [memsim.NumTiers][numHeatBuckets]uint64
+	Total   [memsim.NumTiers]uint64
+}
+
+// Summary captures the index's current bucket occupancy.
+func (x *HeatIndex) Summary() HeatSummary {
+	var sum HeatSummary
+	for t := 0; t < int(memsim.NumTiers); t++ {
+		for s := 0; s < numHeatBuckets; s++ {
+			sum.Buckets[t][s] = x.buckets[t][s].count
+		}
+		sum.Total[t] = x.counts[t]
+	}
+	return sum
+}
 
 // CheckInvariants validates the full index against the guest state:
 // every backed PFN is on exactly one bucket list, its bucket equals its

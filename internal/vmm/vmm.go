@@ -265,6 +265,31 @@ func (v *VM) allocForMigration(t memsim.Tier) (memsim.MFN, bool) {
 	return mfn, true
 }
 
+// AdoptFrames grants exactly n frames of tier t to the VM, bypassing
+// the share policy's Authorize gate the same way allocForMigration
+// does: adoption re-materializes a footprint the VM already earned on
+// another host (cross-host live migration), so admission was decided by
+// the destination's placement policy, not by steady-state sharing. The
+// granted counter and the share book still move, keeping
+// CheckInvariants and DRF accounting exact. It is all-or-nothing: on
+// shortfall it returns an error and grants nothing.
+func (v *VM) AdoptFrames(t memsim.Tier, n uint64) ([]memsim.MFN, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if room := v.Spec.MaxPages[t] - v.granted[t]; n > room {
+		return nil, fmt.Errorf("vmm: VM %d adopting %d %v frames exceeds reservation (room %d)",
+			v.Spec.ID, n, t, room)
+	}
+	mfns, err := v.vmm.Machine.Alloc(t, n, v.owner())
+	if err != nil {
+		return nil, fmt.Errorf("vmm: VM %d adopting %d %v frames: %w", v.Spec.ID, n, t, err)
+	}
+	v.granted[t] += n
+	v.vmm.share.OnGrant(v, t, n)
+	return mfns, nil
+}
+
 // freeFromMigration returns a single frame after migration.
 func (v *VM) freeFromMigration(mfn memsim.MFN) {
 	t := v.vmm.Machine.TierOf(mfn)
